@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation A: sensitivity to the VTS cache sizes.
+ *
+ * The paper provisions a 512-entry SPT cache and a 2048-entry TAV
+ * cache in the memory controller (section 6.1). This sweep shrinks and
+ * grows both together on the two overflow-heavy workloads; misses cost
+ * structure walks in memory, so undersized caches should show up as
+ * extra cycles on fft and ocean.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+int
+main()
+{
+    using namespace ptm;
+
+    struct Cfg
+    {
+        const char *label;
+        unsigned spt, tav;
+    };
+    const Cfg cfgs[] = {
+        {"1/16 size", 32, 128},
+        {"1/4 size", 128, 512},
+        {"paper (512/2048)", 512, 2048},
+        {"4x size", 2048, 8192},
+    };
+
+    std::printf("Ablation A: SPT/TAV cache size sweep (Select-PTM)\n\n");
+    Report table({"config", "app", "cycles", "spt hit%", "tav hit%",
+                  "verified"});
+
+    for (const char *app : {"fft", "ocean"}) {
+        for (const Cfg &c : cfgs) {
+            SystemParams prm;
+            prm.tmKind = TmKind::SelectPtm;
+            prm.sptCacheEntries = c.spt;
+            prm.tavCacheEntries = c.tav;
+            ExperimentResult r = runWorkload(app, prm, 1, 4);
+            const RunStats &s = r.stats;
+            double spt_total =
+                double(s.sptCacheHits + s.sptCacheMisses);
+            double tav_total =
+                double(s.tavCacheHits + s.tavCacheMisses);
+            table.row(
+                {c.label, app, cellU(s.cycles == 0 ? r.cycles : s.cycles),
+                 cell("%.1f%%", spt_total ? 100.0 * double(s.sptCacheHits) /
+                                                spt_total
+                                          : 0.0),
+                 cell("%.1f%%", tav_total ? 100.0 * double(s.tavCacheHits) /
+                                                tav_total
+                                          : 0.0),
+                 r.verified ? "yes" : "NO"});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 4 of the paper: "% speedup over single-threaded
+ * execution for lock-based multithreading, (base) VTM, Victim-Cache
+ * VTM, Copy-PTM and Select-PTM", for fft / lu / radix / ocean / water
+ * and the average.
+ *
+ * Paper's qualitative result to reproduce:
+ *  - base VTM gets no/low speedup on fft and ocean (commit copy-back
+ *    cost on the overflow-heavy programs) but decent speedup on the
+ *    other three;
+ *  - the victim cache recovers part of VTM's loss (avg +72% in the
+ *    paper);
+ *  - Copy-PTM (avg +116%) sits between VTM and Select-PTM because of
+ *    its eviction-time backup copies and abort restores;
+ *  - Select-PTM is the best TM system (avg +220%), competitive with or
+ *    better than fine-grained locks (avg +134%).
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+int
+main()
+{
+    using namespace ptm;
+
+    const TmKind kinds[] = {TmKind::Locks, TmKind::Vtm, TmKind::VcVtm,
+                            TmKind::CopyPtm, TmKind::SelectPtm};
+
+    std::printf("Figure 4: %% speedup over single-threaded execution "
+                "(4 cores)\n\n");
+    Report table({"app", "4p locks", "VTM", "VC-VTM", "Copy-PTM",
+                  "Sel-PTM"});
+
+    double sums[5] = {};
+    bool all_ok = true;
+    for (const auto &name : workloadNames()) {
+        SystemParams sp;
+        sp.tmKind = TmKind::Serial;
+        Tick serial = runWorkload(name, sp, 1, 4).cycles;
+
+        std::vector<std::string> cells{name};
+        for (unsigned k = 0; k < 5; ++k) {
+            SystemParams prm;
+            prm.tmKind = kinds[k];
+            ExperimentResult r = runWorkload(name, prm, 1, 4);
+            double pct = speedupPct(serial, r.cycles);
+            sums[k] += pct;
+            all_ok = all_ok && r.verified;
+            cells.push_back(cell("%+.0f%%", pct) +
+                            (r.verified ? "" : " !!WRONG"));
+        }
+        table.row(std::move(cells));
+    }
+    std::vector<std::string> avg{"Average"};
+    for (double s : sums)
+        avg.push_back(cell("%+.0f%%", s / 5.0));
+    table.row(std::move(avg));
+    table.print();
+
+    std::printf("\nPaper's averages: locks +134%%, VC-VTM +72%%, "
+                "Copy-PTM +116%%, Sel-PTM +220%%; base VTM ~0%% on "
+                "fft/ocean.\n");
+    std::printf("All results functionally verified: %s\n",
+                all_ok ? "yes" : "NO");
+    return all_ok ? 0 : 1;
+}

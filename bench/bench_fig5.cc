@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces Figure 5 of the paper: "Advantage of conflict detection
+ * at the word granularity" — 4p locks vs Select-PTM with block-only,
+ * wd:cache and wd:cache+mem conflict detection.
+ *
+ * Paper's qualitative result:
+ *  - radix suffers badly from block-granularity false conflicts
+ *    (scattered permutation writes interleave within blocks) and jumps
+ *    from +116% to +170% with end-to-end word granularity;
+ *  - wd:cache alone helps only a little, because evicting a block
+ *    written by several transactions still aborts (the overflow
+ *    structures track one writer per block);
+ *  - most other programs are insensitive.
+ *
+ * The workload kernels at our scale do not evict multi-writer blocks,
+ * so a microbenchmark ("mw-micro") demonstrates the wd:cache vs
+ * wd:cache+mem distinction: transactions write disjoint words of
+ * shared blocks under a tiny L2, forcing multi-writer evictions.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/system.hh"
+
+namespace
+{
+
+using namespace ptm;
+
+/** Multi-writer eviction microbenchmark: returns (cycles, aborts). */
+std::pair<Tick, std::uint64_t>
+mwMicro(Granularity g)
+{
+    SystemParams p;
+    p.tmKind = TmKind::SelectPtm;
+    p.granularity = g;
+    p.l1Bytes = 512;
+    p.l2Bytes = 4096; // tiny: force evictions mid-transaction
+    p.l2Assoc = 2;
+    p.daemonInterval = 0;
+    p.osQuantum = 0;
+    p.maxTicks = 500ull * 1000 * 1000;
+
+    System sys(p);
+    ProcId proc = sys.createProcess();
+    constexpr unsigned kBlocks = 256;
+    constexpr unsigned kIters = 6;
+    constexpr Addr base = 0x100000;
+    // Each of 4 threads repeatedly writes ITS OWN word of every shared
+    // block inside one large (overflowing) transaction.
+    for (unsigned t = 0; t < 4; ++t) {
+        std::vector<Step> steps;
+        for (unsigned i = 0; i < kIters; ++i) {
+            TxStep s;
+            s.body = [t](MemCtx m) -> TxCoro {
+                for (unsigned b = 0; b < kBlocks; ++b)
+                    co_await m.store(base + Addr(b) * blockBytes +
+                                         4 * t,
+                                     b * 16 + t);
+            };
+            steps.push_back(std::move(s));
+        }
+        sys.addThread(proc, std::move(steps));
+    }
+    sys.run();
+    RunStats s = sys.stats();
+    return {s.cycles, s.aborts};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 5: conflict detection at word granularity "
+                "(%% speedup over 1 thread)\n\n");
+
+    Report table(
+        {"app", "4p locks", "blk-only", "wd:cache", "wd:cache+mem"});
+
+    const Granularity grans[] = {Granularity::Block,
+                                 Granularity::WordCache,
+                                 Granularity::WordCacheMem};
+
+    bool all_ok = true;
+    for (const auto &name : workloadNames()) {
+        SystemParams sp;
+        sp.tmKind = TmKind::Serial;
+        Tick serial = runWorkload(name, sp, 1, 4).cycles;
+
+        SystemParams lp;
+        lp.tmKind = TmKind::Locks;
+        ExperimentResult locks = runWorkload(name, lp, 1, 4);
+        all_ok = all_ok && locks.verified;
+
+        std::vector<std::string> cells{
+            name, cell("%+.0f%%", speedupPct(serial, locks.cycles))};
+        for (Granularity g : grans) {
+            SystemParams prm;
+            prm.tmKind = TmKind::SelectPtm;
+            prm.granularity = g;
+            ExperimentResult r = runWorkload(name, prm, 1, 4);
+            all_ok = all_ok && r.verified;
+            cells.push_back(cell("%+.0f%%",
+                                 speedupPct(serial, r.cycles)) +
+                            " (a" + cellU(r.stats.aborts) + ")" +
+                            (r.verified ? "" : " !!WRONG"));
+        }
+        table.row(std::move(cells));
+    }
+    table.print();
+
+    std::printf("\nmw-micro: disjoint-word writers of shared blocks "
+                "with forced mid-transaction evictions\n\n");
+    Report micro({"mode", "cycles", "aborts"});
+    for (Granularity g : grans) {
+        auto [cycles, aborts] = mwMicro(g);
+        micro.row({granularityName(g), cellU(cycles), cellU(aborts)});
+    }
+    micro.print();
+    std::printf("\n(blk-only: every co-writer conflicts; wd:cache: no "
+                "access conflicts but multi-writer evictions abort; "
+                "wd:cache+mem: per-word vectors, no aborts.)\n");
+    std::printf("Paper: radix +116%% (blk) -> +170%% (wd:cache+mem); "
+                "wd:cache alone gives only minor gains.\n");
+    std::printf("All results functionally verified: %s\n",
+                all_ok ? "yes" : "NO");
+    return all_ok ? 0 : 1;
+}

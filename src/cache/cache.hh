@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Cache structures: MOESI line state with transactional extensions, a
+ * generic set-associative array, and the L1 timing-filter tags.
+ *
+ * Following the PTM paper, coherence is maintained at the private L2
+ * caches; "the augmented L2 cache blocks contain transactional read and
+ * write bits ... a transaction ID, a valid bit and the bits to implement
+ * [the] MOESI protocol" (section 6.1). The L1 is a pure latency filter
+ * kept inclusive in the L2 by back-invalidation; the functional data of
+ * a block lives in the L2 line.
+ */
+
+#ifndef PTM_CACHE_CACHE_HH
+#define PTM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** MOESI coherence states. */
+enum class Moesi : std::uint8_t
+{
+    I, //!< Invalid
+    S, //!< Shared (clean, others may share)
+    E, //!< Exclusive (clean, sole copy)
+    O, //!< Owned (dirty, others may share; this cache responds)
+    M, //!< Modified (dirty, sole copy)
+};
+
+/** True if the state implies the line holds dirty (modified) data. */
+constexpr bool
+moesiDirty(Moesi s)
+{
+    return s == Moesi::M || s == Moesi::O;
+}
+
+/** True if the state permits a silent store (no bus transaction). */
+constexpr bool
+moesiWritable(Moesi s)
+{
+    return s == Moesi::M || s == Moesi::E;
+}
+
+/** Short state name for traces. */
+const char *moesiName(Moesi s);
+
+/**
+ * Transactional marking of a cache line by one transaction: which
+ * 4-byte words it read and speculatively wrote. In block-granularity
+ * mode the masks are simply the full block (0xFFFF), so one predicate
+ * serves both the default mode and the wd:* modes of Figure 5.
+ */
+struct TxMark
+{
+    TxId tx = invalidTxId;
+    std::uint16_t readWords = 0;
+    std::uint16_t writeWords = 0;
+};
+
+/** One L2 cache line with the PTM transactional extensions. */
+struct CacheLine
+{
+    /** Block-aligned home physical address; valid iff state != I. */
+    Addr addr = 0;
+    Moesi state = Moesi::I;
+
+    /**
+     * Transactional markings. In hardware this is the per-line
+     * transaction ID plus read/write bits (single mark); word-
+     * granularity modes allow a line to carry state of several
+     * transactions.
+     */
+    std::vector<TxMark> marks;
+
+    /**
+     * Words whose *committed* value is newer in this line than in its
+     * committed memory location (non-transactional stores, plus
+     * speculative words promoted by a commit). Word-granularity modes
+     * use it to persist a committed word before a speculative
+     * overwrite and to write back exactly the dirty words on
+     * eviction; block mode tracks it for statistics only.
+     */
+    std::uint16_t dirtyWords = 0;
+
+    /** LRU timestamp. */
+    std::uint64_t lastUse = 0;
+
+    /** The 64 bytes of block data. */
+    std::uint8_t data[blockBytes] = {};
+
+    bool valid() const { return state != Moesi::I; }
+    bool dirty() const { return moesiDirty(state); }
+
+    /** True if any transactional marking is attached. */
+    bool transactional() const { return !marks.empty(); }
+
+    /** Find the mark of transaction @p tx, or nullptr. */
+    TxMark *
+    findMark(TxId tx)
+    {
+        for (auto &m : marks)
+            if (m.tx == tx)
+                return &m;
+        return nullptr;
+    }
+
+    /** Find-or-create the mark of transaction @p tx. */
+    TxMark &
+    mark(TxId tx)
+    {
+        if (TxMark *m = findMark(tx))
+            return *m;
+        marks.push_back(TxMark{tx, 0, 0});
+        return marks.back();
+    }
+
+    /** Remove the mark of transaction @p tx if present. */
+    void
+    removeMark(TxId tx)
+    {
+        for (auto it = marks.begin(); it != marks.end(); ++it) {
+            if (it->tx == tx) {
+                marks.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Union of write masks of all marks. */
+    std::uint16_t
+    writeMask() const
+    {
+        std::uint16_t m = 0;
+        for (const auto &mk : marks)
+            m |= mk.writeWords;
+        return m;
+    }
+
+    /** Number of distinct transactions with write marks. */
+    unsigned
+    writerCount() const
+    {
+        unsigned n = 0;
+        for (const auto &mk : marks)
+            if (mk.writeWords)
+                ++n;
+        return n;
+    }
+
+    /** Drop all transactional markings. */
+    void clearTx() { marks.clear(); }
+
+    /** Invalidate the line entirely. */
+    void
+    invalidate()
+    {
+        state = Moesi::I;
+        dirtyWords = 0;
+        clearTx();
+    }
+
+    /** Read the 4-byte word at in-block byte offset @p off. */
+    std::uint32_t
+    readWord32(unsigned off) const
+    {
+        std::uint32_t v;
+        std::memcpy(&v, data + off, sizeof(v));
+        return v;
+    }
+
+    /** Write the 4-byte word at in-block byte offset @p off. */
+    void
+    writeWord32(unsigned off, std::uint32_t v)
+    {
+        std::memcpy(data + off, &v, sizeof(v));
+    }
+};
+
+/**
+ * A set-associative array of CacheLine with LRU replacement. Indexing
+ * uses the block address bits above blockShift.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param bytes total capacity in bytes
+     * @param assoc associativity (1 = direct mapped)
+     */
+    CacheArray(std::uint64_t bytes, unsigned assoc);
+
+    /** Find the line holding @p block_addr, or nullptr. */
+    CacheLine *find(Addr block_addr);
+    const CacheLine *find(Addr block_addr) const;
+
+    /**
+     * Pick the replacement victim in the set of @p block_addr: an
+     * invalid way if present, else the LRU way.
+     */
+    CacheLine &victim(Addr block_addr);
+
+    /** Mark a line most-recently-used. */
+    void
+    touch(CacheLine &line)
+    {
+        line.lastUse = ++use_clock_;
+    }
+
+    /** Apply @p fn to every valid line. */
+    template <typename F>
+    void
+    forEachValid(F &&fn)
+    {
+        for (auto &l : lines_)
+            if (l.valid())
+                fn(l);
+    }
+
+    unsigned numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+
+  private:
+    unsigned setIndex(Addr block_addr) const;
+
+    unsigned num_sets_;
+    unsigned assoc_;
+    std::vector<CacheLine> lines_;
+    std::uint64_t use_clock_ = 0;
+};
+
+/**
+ * L1 tag filter. Holds no data; a hit means the access can complete in
+ * one cycle against the (inclusive) L2 line. The flags mirror exactly
+ * the conditions under which the L2 would not need to act:
+ *
+ *  - @c writable: the L2 line is in M or E, so a store can proceed.
+ *  - @c txId/txRead/txWrite: the transactional bits already set at the
+ *    L2 line, so a same-transaction re-access needs no L2 update.
+ */
+class L1Filter
+{
+  public:
+    struct Entry
+    {
+        Addr addr = 0;
+        bool valid = false;
+        bool writable = false;
+        /** Transaction whose L2 marks this entry mirrors (one only). */
+        TxId txId = invalidTxId;
+        std::uint16_t txReadWords = 0;
+        std::uint16_t txWriteWords = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    L1Filter(std::uint64_t bytes, unsigned assoc);
+
+    /** Find the entry for @p block_addr, or nullptr. */
+    Entry *find(Addr block_addr);
+
+    /** Install (or refresh) an entry for @p block_addr. */
+    Entry &insert(Addr block_addr);
+
+    /** Remove the entry for @p block_addr if present. */
+    void invalidate(Addr block_addr);
+
+    /** Remove the write permission of @p block_addr if present. */
+    void downgrade(Addr block_addr);
+
+    /** Drop every entry (context-switch flush in flush-based modes). */
+    void invalidateAll();
+
+    /** Apply @p fn to every valid entry. */
+    template <typename F>
+    void
+    forEachValid(F &&fn)
+    {
+        for (auto &e : entries_)
+            if (e.valid)
+                fn(e);
+    }
+
+  private:
+    unsigned setIndex(Addr block_addr) const;
+
+    unsigned num_sets_;
+    unsigned assoc_;
+    std::vector<Entry> entries_;
+    std::uint64_t use_clock_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_CACHE_CACHE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-core fully-associative TLB (paper: 512 entries, 4 KB pages).
+ *
+ * Entries are tagged by (process, virtual page) and translate to the
+ * *home* physical page: shadow pages are invisible to the TLB by design
+ * — "the physical address seen by the cache hierarchy and the TLB
+ * structures is the home page physical address" (section 3.2.3).
+ */
+
+#ifndef PTM_CACHE_TLB_HH
+#define PTM_CACHE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** Fully-associative TLB with LRU replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries) : entries_(entries) {}
+
+    /**
+     * Translate (proc, vpage). @return the home physical page, or
+     * invalidPage on a TLB miss.
+     */
+    PageNum
+    lookup(ProcId proc, PageNum vpage)
+    {
+        for (auto &e : entries_) {
+            if (e.valid && e.proc == proc && e.vpage == vpage) {
+                e.lastUse = ++clock_;
+                ++hits;
+                return e.ppage;
+            }
+        }
+        ++misses;
+        return invalidPage;
+    }
+
+    /** Install a translation, evicting LRU if full. */
+    void
+    insert(ProcId proc, PageNum vpage, PageNum ppage)
+    {
+        Entry *victim = nullptr;
+        for (auto &e : entries_) {
+            if (e.valid && e.proc == proc && e.vpage == vpage) {
+                victim = &e;
+                break;
+            }
+            if (!e.valid) {
+                if (!victim || victim->valid)
+                    victim = &e;
+            } else if (!victim ||
+                       (victim->valid && e.lastUse < victim->lastUse)) {
+                victim = &e;
+            }
+        }
+        victim->valid = true;
+        victim->proc = proc;
+        victim->vpage = vpage;
+        victim->ppage = ppage;
+        victim->lastUse = ++clock_;
+    }
+
+    /** Shootdown one translation (page swapped / remapped). */
+    void
+    invalidate(ProcId proc, PageNum vpage)
+    {
+        for (auto &e : entries_)
+            if (e.valid && e.proc == proc && e.vpage == vpage)
+                e.valid = false;
+    }
+
+    /** Drop all entries of one process. */
+    void
+    flushProc(ProcId proc)
+    {
+        for (auto &e : entries_)
+            if (e.valid && e.proc == proc)
+                e.valid = false;
+    }
+
+    /** Drop everything. */
+    void
+    flushAll()
+    {
+        for (auto &e : entries_)
+            e.valid = false;
+    }
+
+    Counter hits;
+    Counter misses;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        ProcId proc = 0;
+        PageNum vpage = 0;
+        PageNum ppage = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_CACHE_TLB_HH

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "vm/os_kernel.hh"
+
+namespace ptm
+{
+
+Core::Core(CoreId id, const SystemParams &params, EventQueue &eq,
+           MemSystem &mem, TxManager &txmgr, OsKernel &os)
+    : id_(id), params_(params), eq_(eq), mem_(mem), txmgr_(txmgr),
+      os_(os)
+{}
+
+void
+Core::kick()
+{
+    if (idle_ && !cur_) {
+        idle_ = false;
+        scheduleStep(0);
+    }
+}
+
+void
+Core::kickParked()
+{
+    if (idle_ && cur_) {
+        idle_ = false;
+        scheduleStep(0);
+    }
+}
+
+void
+Core::scheduleStep(Tick delay)
+{
+    eq_.scheduleIn(delay, EventPriority::Cpu, [this] { step(); });
+}
+
+bool
+Core::shouldPreempt() const
+{
+    Tick now = eq_.curTick();
+    if (now < daemon_until_)
+        return true;
+    return now >= quantum_end_ && os_.hasReady();
+}
+
+void
+Core::preempt(ThreadCtx &t, Tick next_step_delay)
+{
+    ++preemptions;
+    ++os_.contextSwitches;
+    if (params_.flushOnContextSwitch && t.curTx != invalidTxId &&
+        txmgr_.isLive(t.curTx)) {
+        // VTM-style switch: the transaction's cached blocks must be
+        // evicted and tracked by the overflow structures before the
+        // thread leaves the core (section 4.7 / 5.3).
+        next_step_delay += mem_.flushTxLines(t.curTx);
+    }
+    t.state = ThreadState::Ready;
+    t.core = nullptr;
+    os_.makeReady(&t);
+    cur_ = nullptr;
+    scheduleStep(next_step_delay + params_.contextSwitchLatency);
+}
+
+void
+Core::daemonPreempt(Tick length)
+{
+    daemon_until_ = eq_.curTick() + length;
+    // The preemption takes effect at the thread's next safe point; an
+    // idle core just stays busy with the daemon.
+    if (idle_) {
+        idle_ = false;
+        scheduleStep(length);
+    }
+}
+
+void
+Core::step()
+{
+    Tick now = eq_.curTick();
+    if (now < daemon_until_ && !cur_) {
+        scheduleStep(daemon_until_ - now);
+        return;
+    }
+
+    if (!cur_) {
+        cur_ = os_.pickReady();
+        if (!cur_) {
+            goIdle();
+            return;
+        }
+        cur_->core = this;
+        cur_->state = ThreadState::Running;
+        quantum_end_ = params_.osQuantum
+                           ? now + params_.osQuantum
+                           : maxTick;
+        if (last_ && last_ != cur_) {
+            ++os_.contextSwitches;
+            last_ = cur_;
+            scheduleStep(params_.contextSwitchLatency);
+            return;
+        }
+        last_ = cur_;
+    }
+
+    ThreadCtx &t = *cur_;
+
+    if (t.abortPending) {
+        handleAbort(t);
+        return;
+    }
+    if (t.commitPending) {
+        t.state = ThreadState::Running;
+        tryCommit(t);
+        return;
+    }
+    if (t.hasPendingResume) {
+        t.hasPendingResume = false;
+        t.state = ThreadState::Running;
+        resumeCoro(t, t.resumeValue);
+        return;
+    }
+    if (t.coroLive) {
+        // First resume of a freshly created coroutine.
+        t.state = ThreadState::Running;
+        resumeCoro(t, 0);
+        return;
+    }
+    beginStep(t);
+}
+
+void
+Core::beginStep(ThreadCtx &t)
+{
+    if (t.finished()) {
+        t.state = ThreadState::Done;
+        t.core = nullptr;
+        cur_ = nullptr;
+        os_.threadExited(&t);
+        // Pick up more work if any.
+        if (os_.hasReady())
+            scheduleStep(params_.contextSwitchLatency);
+        else
+            goIdle();
+        return;
+    }
+
+    const Step &step = t.currentStep();
+    if (const TxStep *tx = std::get_if<TxStep>(&step)) {
+        if (t.curTx == invalidTxId) {
+            t.curTx = txmgr_.begin(t.id, t.proc, eq_.curTick(),
+                                   tx->ordered, tx->scope, tx->rank);
+        }
+        // (Restarted transactions keep their id; TxManager::restart
+        // already ran in handleAbort.)
+        t.coro = tx->body(MemCtx{});
+        t.coroLive = true;
+        // Register checkpoint at transaction begin.
+        scheduleStep(params_.checkpointLatency);
+        return;
+    }
+    if (const PlainStep *p = std::get_if<PlainStep>(&step)) {
+        t.coro = p->body(MemCtx{});
+        t.coroLive = true;
+        resumeCoro(t, 0);
+        return;
+    }
+    const BarrierStep &b = std::get<BarrierStep>(step);
+    ++t.stepIdx;
+    std::vector<ThreadCtx *> released;
+    if (os_.barrierArrive(b.id, &t, released)) {
+        for (ThreadCtx *r : released) {
+            if (r != &t) {
+                r->state = ThreadState::Ready;
+                os_.makeReady(r);
+            }
+        }
+        os_.kickIdleCores();
+        scheduleStep(params_.barrierLatency);
+    } else {
+        t.state = ThreadState::WaitBarrier;
+        t.core = nullptr;
+        cur_ = nullptr;
+        if (os_.hasReady())
+            scheduleStep(params_.contextSwitchLatency);
+        else
+            goIdle();
+    }
+}
+
+void
+Core::resumeCoro(ThreadCtx &t, std::uint64_t value)
+{
+    if (t.abortPending) {
+        handleAbort(t);
+        return;
+    }
+    if (shouldPreempt()) {
+        // Deliver the value after the thread is rescheduled.
+        t.hasPendingResume = true;
+        t.resumeValue = value;
+        Tick now = eq_.curTick();
+        Tick busy = now < daemon_until_ ? daemon_until_ - now : 0;
+        preempt(t, busy);
+        return;
+    }
+
+    const MemYield *op = t.coro.resume(value);
+    if (!op) {
+        stepFinished(t);
+        return;
+    }
+    runOp(t, *op);
+}
+
+void
+Core::runOp(ThreadCtx &t, const MemYield &op)
+{
+    if (op.kind == OpKind::Compute) {
+        ++computeOps;
+        t.computeCycles += op.cycles;
+        Tick d = op.cycles ? op.cycles : 1;
+        std::uint64_t ep = t.epoch;
+        eq_.scheduleIn(d, EventPriority::Cpu, [this, &t, ep] {
+            if (t.epoch == ep)
+                resumeCoro(t, 0);
+        });
+        return;
+    }
+
+    ++memOps;
+    ++t.memOps;
+    if (t.curTx != invalidTxId)
+        ++txMemOps;
+
+    bool is_write = op.kind == OpKind::Store;
+    bool is_cas = op.kind == OpKind::Cas;
+    XlatResult xr =
+        os_.translate(id_, t.proc, op.vaddr, is_write || is_cas);
+    if ((is_write || is_cas) && t.curTx != invalidTxId)
+        os_.noteTxWrite(t.proc, op.vaddr);
+
+    Access acc;
+    acc.core = id_;
+    acc.tx = t.curTx;
+    acc.isWrite = is_write;
+    acc.isCas = is_cas;
+    acc.paddr = xr.paddr & ~Addr(3);
+    acc.storeValue = std::uint32_t(op.value);
+    acc.casExpected = std::uint32_t(op.expected);
+
+    if (xr.latency == 0) {
+        issueAccess(t, acc);
+    } else {
+        std::uint64_t ep = t.epoch;
+        eq_.scheduleIn(xr.latency, EventPriority::Cpu,
+                       [this, &t, acc, ep] {
+                           if (t.epoch == ep)
+                               issueAccess(t, acc);
+                       });
+    }
+}
+
+void
+Core::issueAccess(ThreadCtx &t, const Access &acc)
+{
+    if (t.abortPending) {
+        handleAbort(t);
+        return;
+    }
+    if (auto hit = mem_.trySync(acc)) {
+        Tick lat = hit->first;
+        std::uint32_t v = hit->second.value;
+        std::uint64_t ep = t.epoch;
+        eq_.scheduleIn(lat, EventPriority::Cpu, [this, &t, v, ep] {
+            if (t.epoch == ep)
+                resumeCoro(t, v);
+        });
+        return;
+    }
+    t.state = ThreadState::WaitMem;
+    std::uint64_t ep = t.epoch;
+    mem_.request(acc, [this, &t, ep](Tick done, AccessResult res) {
+        eq_.schedule(done, EventPriority::Cpu, [this, &t, res, ep] {
+            if (t.epoch != ep)
+                return;
+            t.state = ThreadState::Running;
+            if (res.txAborted || t.abortPending) {
+                handleAbort(t);
+                return;
+            }
+            resumeCoro(t, res.value);
+        });
+    });
+}
+
+void
+Core::stepFinished(ThreadCtx &t)
+{
+    t.coro.destroy();
+    t.coroLive = false;
+
+    if (std::holds_alternative<TxStep>(t.currentStep())) {
+        t.commitPending = true;
+        std::uint64_t ep = t.epoch;
+        eq_.scheduleIn(params_.commitLatency, EventPriority::Cpu,
+                       [this, &t, ep] {
+                           if (t.epoch != ep)
+                               return;
+                           if (t.abortPending) {
+                               handleAbort(t);
+                               return;
+                           }
+                           tryCommit(t);
+                       });
+        return;
+    }
+
+    ++t.stepIdx;
+    scheduleStep(1);
+}
+
+void
+Core::tryCommit(ThreadCtx &t)
+{
+    CommitResult r = txmgr_.requestCommit(t.curTx);
+    if (r == CommitResult::Done) {
+        t.commitPending = false;
+        t.curTx = invalidTxId;
+        ++t.stepIdx;
+        scheduleStep(1);
+        return;
+    }
+    // Ordered transaction must wait for the commit token. Yield the
+    // core if other threads could use it; otherwise stall in place.
+    t.state = ThreadState::WaitOrdered;
+    if (os_.hasReady()) {
+        t.core = nullptr;
+        cur_ = nullptr;
+        scheduleStep(params_.contextSwitchLatency);
+    } else {
+        goIdle();
+    }
+}
+
+void
+Core::handleAbort(ThreadCtx &t)
+{
+    t.commitPending = false;
+    t.hasPendingResume = false;
+    ++t.epoch;
+    t.coro.destroy();
+    t.coroLive = false;
+
+    if (!t.abortCleanupDone) {
+        // Copy-PTM restores (and TAV frees) must drain before the
+        // transaction re-executes.
+        t.state = ThreadState::WaitAbort;
+        if (os_.hasReady()) {
+            t.core = nullptr;
+            cur_ = nullptr;
+            scheduleStep(params_.contextSwitchLatency);
+        } else {
+            goIdle();
+        }
+        return;
+    }
+
+    t.abortPending = false;
+    t.abortCleanupDone = false;
+    ++t.restarts;
+    t.state = ThreadState::Running;
+    // Exponential backoff keeps a young transaction from spinning
+    // against a long-running older one (abort storms).
+    const Transaction *txn = txmgr_.get(t.curTx);
+    unsigned shift = txn ? std::min(txn->attempts, 8u) : 1;
+    txmgr_.restart(t.curTx, eq_.curTick());
+    // beginStep recreates the body coroutine (checkpoint restore).
+    scheduleStep(params_.abortRestartLatency << (shift - 1));
+}
+
+} // namespace ptm

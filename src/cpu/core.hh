@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Simulated in-order CPU core.
+ *
+ * Each core drives one thread at a time through its coroutine program:
+ * it pulls operations, models their timing through the memory system,
+ * and handles transactional control flow — begin/commit (ordered
+ * commit waits), abort-and-restart, context switches at quantum
+ * boundaries and daemon preemptions (transactional cache state is NOT
+ * flushed on a switch; PTM's transaction-ID tags make that safe,
+ * section 4.7).
+ */
+
+#ifndef PTM_CPU_CORE_HH
+#define PTM_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "cpu/thread.hh"
+#include "mem/mem_system.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "tx/tx_manager.hh"
+
+namespace ptm
+{
+
+class OsKernel;
+
+class Core
+{
+  public:
+    Core(CoreId id, const SystemParams &params, EventQueue &eq,
+         MemSystem &mem, TxManager &txmgr, OsKernel &os);
+
+    CoreId id() const { return id_; }
+
+    /** Wake an idle core (work appeared on the run queue). */
+    void kick();
+
+    /**
+     * Wake the thread parked on this core (ordered-commit token
+     * arrived, abort cleanup finished, or an abort notification needs
+     * processing).
+     */
+    void kickParked();
+
+    /** The thread currently bound to this core (may be parked). */
+    ThreadCtx *current() const { return cur_; }
+
+    /** OS daemon activity preempts this core for @p length cycles. */
+    void daemonPreempt(Tick length);
+
+    /** @name Statistics */
+    /// @{
+    Counter memOps;       //!< loads+stores+CAS issued
+    Counter txMemOps;     //!< subset issued inside transactions
+    Counter computeOps;
+    Counter preemptions;
+    /// @}
+
+  private:
+    /** Main dispatch: run/park/pick a thread. */
+    void step();
+
+    /** Schedule the next step() after @p delay. */
+    void scheduleStep(Tick delay);
+
+    /** Begin the thread's current step (tx begin / coro creation). */
+    void beginStep(ThreadCtx &t);
+
+    /** Deliver @p value to the coroutine and run the next op. */
+    void resumeCoro(ThreadCtx &t, std::uint64_t value);
+
+    /** Model one yielded operation. */
+    void runOp(ThreadCtx &t, const MemYield &op);
+
+    /** Issue a memory access (post-translation). */
+    void issueAccess(ThreadCtx &t, const Access &acc);
+
+    /** The current step's coroutine ran to completion. */
+    void stepFinished(ThreadCtx &t);
+
+    /** Attempt the (possibly ordered) commit of the current tx. */
+    void tryCommit(ThreadCtx &t);
+
+    /** Process a pending logical abort: wait for cleanup / restart. */
+    void handleAbort(ThreadCtx &t);
+
+    /** Preempt the current thread back to the run queue. */
+    void preempt(ThreadCtx &t, Tick next_step_delay);
+
+    /** True if the thread must yield the core right now. */
+    bool shouldPreempt() const;
+
+    /** Park with no pending continuation (kick()/kickParked() wake). */
+    void
+    goIdle()
+    {
+        idle_ = true;
+    }
+
+    const CoreId id_;
+    const SystemParams &params_;
+    EventQueue &eq_;
+    MemSystem &mem_;
+    TxManager &txmgr_;
+    OsKernel &os_;
+
+    ThreadCtx *cur_ = nullptr;
+    ThreadCtx *last_ = nullptr;
+    bool idle_ = true;
+    Tick quantum_end_ = 0;
+    Tick daemon_until_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_CPU_CORE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+
+#include "harness/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace ptm
+{
+
+ExperimentResult
+runWorkload(const std::string &workload_name, SystemParams params,
+            int scale, unsigned threads)
+{
+    WorkloadConfig wcfg;
+    wcfg.threads = threads;
+    wcfg.mode = syncModeFor(params.tmKind);
+    wcfg.seed = params.seed;
+    wcfg.scale = scale;
+    if (wcfg.mode == SyncMode::Serial)
+        params.numCores = 1;
+    if (params.maxTicks == 0)
+        params.maxTicks = 20ull * 1000 * 1000 * 1000;
+
+    auto wl = makeWorkload(workload_name, wcfg);
+    System sys(params);
+    wl->build(sys);
+
+    ExperimentResult r;
+    r.cycles = sys.run();
+    r.stats = sys.stats();
+    r.verified = wl->verify(sys);
+    if (!r.verified)
+        warn("%s/%s produced a wrong result", workload_name.c_str(),
+             tmKindName(params.tmKind));
+    return r;
+}
+
+double
+speedupPct(Tick serial, Tick par)
+{
+    if (par == 0)
+        return 0.0;
+    return (double(serial) / double(par) - 1.0) * 100.0;
+}
+
+} // namespace ptm

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Experiment runner: builds a (system-kind × workload) configuration,
+ * runs it to completion, verifies the functional result, and returns
+ * the statistics — the building block of every reproduced table and
+ * figure.
+ */
+
+#ifndef PTM_HARNESS_EXPERIMENT_HH
+#define PTM_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "harness/system.hh"
+#include "workloads/workload.hh"
+
+namespace ptm
+{
+
+/** Result of one experiment run. */
+struct ExperimentResult
+{
+    RunStats stats;
+    /** The workload's functional result matched the host reference. */
+    bool verified = false;
+    Tick cycles = 0;
+};
+
+/**
+ * Run @p workload_name on a system of kind @p params.tmKind (the
+ * synchronization mode is derived from it: Serial -> 1 thread plain,
+ * Locks -> spinlocks, TM kinds -> transactions).
+ */
+ExperimentResult runWorkload(const std::string &workload_name,
+                             SystemParams params, int scale = 1,
+                             unsigned threads = 4);
+
+/** Percent speedup of @p par over @p serial: (serial/par - 1) * 100. */
+double speedupPct(Tick serial, Tick par);
+
+} // namespace ptm
+
+#endif // PTM_HARNESS_EXPERIMENT_HH

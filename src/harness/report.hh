@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Plain-text table formatting for the reproduced tables and figures.
+ */
+
+#ifndef PTM_HARNESS_REPORT_HH
+#define PTM_HARNESS_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ptm
+{
+
+/** A simple left-aligned text table. */
+class Report
+{
+  public:
+    explicit Report(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append a row (must match the header arity). */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Print with column alignment. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        auto widen = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < r.size() && i < width.size();
+                 ++i)
+                width[i] = std::max(width[i], r[i].size());
+        };
+        widen(header_);
+        for (const auto &r : rows_)
+            widen(r);
+
+        auto line = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < width.size(); ++i) {
+                const std::string &c = i < r.size() ? r[i] : empty_;
+                std::fprintf(out, "%-*s ", int(width[i]), c.c_str());
+            }
+            std::fprintf(out, "\n");
+        };
+        line(header_);
+        std::string dash;
+        for (std::size_t i = 0; i < width.size(); ++i)
+            dash.append(width[i] + 1, '-');
+        std::fprintf(out, "%s\n", dash.c_str());
+        for (const auto &r : rows_)
+            line(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::string empty_;
+};
+
+/** printf-style cell helper. */
+inline std::string
+cell(const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+
+inline std::string
+cellU(unsigned long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", v);
+    return buf;
+}
+
+} // namespace ptm
+
+#endif // PTM_HARNESS_REPORT_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * System wiring and run loop.
+ */
+
+#include "harness/system.hh"
+
+#include "sim/logging.hh"
+#include "vtm/vtm.hh"
+
+namespace ptm
+{
+
+System::System(const SystemParams &params)
+    : params_(params), phys_(), frames_(params.physFrames),
+      txmgr_(), mem_(params, eq_, phys_, txmgr_),
+      os_(params, eq_, phys_, frames_)
+{
+    switch (params_.tmKind) {
+      case TmKind::SelectPtm:
+      case TmKind::CopyPtm: {
+          auto vts = std::make_unique<Vts>(params_, eq_, phys_, txmgr_,
+                                           frames_, mem_.dram());
+          vts_ = vts.get();
+          backend_ = std::move(vts);
+          break;
+      }
+      case TmKind::Vtm:
+      case TmKind::VcVtm:
+          backend_ = std::make_unique<VtmController>(
+              params_, eq_, phys_, txmgr_, mem_.dram());
+          break;
+      case TmKind::Serial:
+      case TmKind::Locks:
+          backend_ = nullptr;
+          break;
+    }
+    mem_.setBackend(backend_.get());
+
+    std::vector<Core *> core_ptrs;
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        cores_.push_back(std::make_unique<Core>(CoreId(c), params_, eq_,
+                                                mem_, txmgr_, os_));
+        core_ptrs.push_back(cores_.back().get());
+    }
+    os_.attach(&mem_, backend_.get(), std::move(core_ptrs));
+
+    wireHooks();
+}
+
+System::~System() = default;
+
+void
+System::unparkIfWaiting(ThreadCtx *t, ThreadState expected)
+{
+    if (t->state != expected)
+        return;
+    if (t->core && t->core->current() == t) {
+        t->core->kickParked();
+    } else {
+        os_.makeReady(t);
+        os_.kickIdleCores();
+    }
+}
+
+void
+System::wireHooks()
+{
+    txmgr_.onLogicalCommit = [this](TxId tx) {
+        mem_.commitClearTx(tx);
+    };
+    txmgr_.onLogicalAbort = [this](TxId tx) {
+        mem_.abortInvalidate(tx);
+    };
+    if (backend_) {
+        txmgr_.backendCommit = [this](TxId tx) {
+            backend_->commitTx(tx);
+        };
+        txmgr_.backendAbort = [this](TxId tx) {
+            backend_->abortTx(tx);
+        };
+    }
+    txmgr_.notifyAborted = [this](TxId, ThreadId th, AbortReason) {
+        ThreadCtx *t = threads_.at(th).get();
+        t->abortPending = true;
+        unparkIfWaiting(t, ThreadState::WaitOrdered);
+    };
+    txmgr_.notifyAbortComplete = [this](TxId, ThreadId th) {
+        ThreadCtx *t = threads_.at(th).get();
+        t->abortCleanupDone = true;
+        unparkIfWaiting(t, ThreadState::WaitAbort);
+    };
+    txmgr_.wakeOrderedCommit = [this](TxId, ThreadId th) {
+        ThreadCtx *t = threads_.at(th).get();
+        unparkIfWaiting(t, ThreadState::WaitOrdered);
+    };
+}
+
+ProcId
+System::createProcess()
+{
+    return os_.createProcess();
+}
+
+ThreadCtx &
+System::addThread(ProcId proc, std::vector<Step> steps,
+                  std::string name)
+{
+    ThreadId id = ThreadId(threads_.size());
+    threads_.push_back(std::make_unique<ThreadCtx>(
+        id, proc, std::move(steps), std::move(name)));
+    os_.admit(threads_.back().get());
+    return *threads_.back();
+}
+
+Tick
+System::run()
+{
+    os_.startTimers();
+    os_.kickIdleCores();
+    Tick limit = params_.maxTicks ? params_.maxTicks : maxTick;
+    bool drained = eq_.run(limit);
+    hit_limit_ = !drained;
+    if (!drained)
+        warn("simulation hit the tick limit at %llu",
+             (unsigned long long)eq_.curTick());
+    for (const auto &t : threads_) {
+        if (t->state != ThreadState::Done && drained)
+            panic("thread %u stuck in state %d at end of simulation",
+                  t->id, int(t->state));
+    }
+    if (vts_)
+        vts_->finishStats(eq_.curTick());
+    // Report workload completion time: the queue may drain later
+    // (timer events, background cleanup walks).
+    return os_.lastExitTick() ? os_.lastExitTick() : eq_.curTick();
+}
+
+std::uint32_t
+System::readWord32(ProcId proc, Addr vaddr)
+{
+    XlatResult xr = os_.translate(0, proc, vaddr, false);
+    return mem_.debugReadWord32(xr.paddr);
+}
+
+RunStats
+System::stats() const
+{
+    RunStats s;
+    s.cycles = os_.lastExitTick() ? os_.lastExitTick() : eq_.curTick();
+    s.hitTickLimit = hit_limit_;
+
+    s.commits = txmgr_.commits.value();
+    s.aborts = txmgr_.aborts.value();
+    s.abortsNonTx = txmgr_.abortsNonTx.value();
+    s.abortsMultiWriter = txmgr_.abortsMultiWriter.value();
+
+    for (const auto &c : cores_)
+        s.memOps += c->memOps.value();
+    s.l1Hits = mem_.l1Hits.value();
+    s.l2Hits = mem_.l2Hits.value();
+    s.evictions = mem_.evictions.value();
+    s.txEvictions = mem_.txEvictions.value();
+    s.conflicts = mem_.conflicts.value();
+    s.stalls = mem_.falseStalls.value();
+
+    auto &self = const_cast<System &>(*this);
+    s.busTransactions = self.mem_.bus().transactions();
+    s.dramAccesses = self.mem_.dram().accesses();
+
+    s.exceptions = os_.exceptions.value();
+    s.contextSwitches = os_.contextSwitches.value();
+    s.pageFaults = os_.pageFaults.value();
+    s.swapIns = os_.swapIns.value();
+    s.swapOuts = os_.swapOuts.value();
+    s.uniquePages = os_.uniquePages();
+    s.txWrittenPages = os_.txWrittenPages();
+
+    if (vts_) {
+        s.shadowAllocs = vts_->shadowAllocs.value();
+        s.shadowFrees = vts_->shadowFrees.value();
+        s.liveShadowPages = vts_->liveShadowPages();
+        s.avgLiveDirtyPages = vts_->liveDirtyPagesStat().mean();
+        s.commitWalkNodes = vts_->commitWalkNodes.value();
+        s.abortWalkNodes = vts_->abortWalkNodes.value();
+        s.copyBackups = vts_->copyBackups.value();
+        s.abortRestoreUnits = vts_->abortRestoreUnits.value();
+        s.lazyMigrations = vts_->lazyMigrations.value();
+        s.sptCacheHits = vts_->sptCache.hits.value();
+        s.sptCacheMisses = vts_->sptCache.misses.value();
+        s.tavCacheHits = vts_->tavCache.hits.value();
+        s.tavCacheMisses = vts_->tavCache.misses.value();
+    }
+    if (auto *vtm = dynamic_cast<const VtmController *>(backend_.get())) {
+        s.xadtEntries = vtm->xadtInserts.value();
+        s.xadtCopybacks = vtm->copybacks.value();
+        s.xfFiltered = vtm->xfFiltered.value();
+        s.xadcHits = vtm->xadcHits.value();
+        s.xadcMisses = vtm->xadcMisses.value();
+        s.victimCacheHits = vtm->victimHits.value();
+    }
+    return s;
+}
+
+void
+System::dumpStats(std::ostream &out) const
+{
+    RunStats s = stats();
+    out << "cycles " << s.cycles << "\n"
+        << "commits " << s.commits << "\n"
+        << "aborts " << s.aborts << "\n"
+        << "memOps " << s.memOps << "\n"
+        << "evictions " << s.evictions << "\n"
+        << "txEvictions " << s.txEvictions << "\n"
+        << "conflicts " << s.conflicts << "\n"
+        << "stalls " << s.stalls << "\n"
+        << "exceptions " << s.exceptions << "\n"
+        << "contextSwitches " << s.contextSwitches << "\n"
+        << "pages " << s.uniquePages << "\n"
+        << "pgXWr " << s.txWrittenPages << "\n"
+        << "mopPerEvict " << s.mopPerEvict() << "\n";
+}
+
+} // namespace ptm

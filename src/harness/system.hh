@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Top-level simulated system: wires the event queue, physical memory,
+ * transaction manager, memory system, OS kernel, CPU cores and the
+ * selected unbounded-TM backend, and runs workloads to completion.
+ *
+ * This is the primary public entry point of the library:
+ *
+ * @code
+ *     SystemParams p;              // paper's 4-core CMP by default
+ *     p.tmKind = TmKind::SelectPtm;
+ *     System sys(p);
+ *     ProcId proc = sys.createProcess();
+ *     sys.addThread(proc, steps);  // coroutine-step program
+ *     sys.run();
+ *     RunStats s = sys.stats();
+ * @endcode
+ */
+
+#ifndef PTM_HARNESS_SYSTEM_HH
+#define PTM_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "cpu/thread.hh"
+#include "mem/frame_alloc.hh"
+#include "mem/mem_system.hh"
+#include "mem/phys_mem.hh"
+#include "ptm/vts.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "tx/tx_manager.hh"
+#include "vm/os_kernel.hh"
+
+namespace ptm
+{
+
+/** Aggregated end-of-run statistics. */
+struct RunStats
+{
+    Tick cycles = 0;
+    bool hitTickLimit = false;
+
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t abortsNonTx = 0;
+    std::uint64_t abortsMultiWriter = 0;
+
+    std::uint64_t memOps = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t busTransactions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t txEvictions = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t stalls = 0;
+
+    std::uint64_t exceptions = 0;
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t swapIns = 0;
+    std::uint64_t swapOuts = 0;
+
+    std::uint64_t uniquePages = 0;
+    std::uint64_t txWrittenPages = 0;
+
+    /** PTM-specific (zero for other backends). */
+    std::uint64_t shadowAllocs = 0;
+    std::uint64_t shadowFrees = 0;
+    std::uint64_t liveShadowPages = 0;
+    double avgLiveDirtyPages = 0.0;
+    std::uint64_t commitWalkNodes = 0;
+    std::uint64_t abortWalkNodes = 0;
+    std::uint64_t copyBackups = 0;
+    std::uint64_t abortRestoreUnits = 0;
+    std::uint64_t lazyMigrations = 0;
+    std::uint64_t sptCacheHits = 0;
+    std::uint64_t sptCacheMisses = 0;
+    std::uint64_t tavCacheHits = 0;
+    std::uint64_t tavCacheMisses = 0;
+
+    /** VTM-specific (zero for other backends). */
+    std::uint64_t xadtEntries = 0;
+    std::uint64_t xadtCopybacks = 0;
+    std::uint64_t xfFiltered = 0;
+    std::uint64_t xadcHits = 0;
+    std::uint64_t xadcMisses = 0;
+    std::uint64_t victimCacheHits = 0;
+
+    /** Memory operations per eviction (Table 1 "mop/evict"). */
+    double
+    mopPerEvict() const
+    {
+        return evictions ? double(memOps) / double(evictions) : 0.0;
+    }
+
+    /** Conservative shadow-page overhead bound (Table 1). */
+    double
+    conservativePct() const
+    {
+        return uniquePages
+                   ? 100.0 * double(txWrittenPages) / double(uniquePages)
+                   : 0.0;
+    }
+
+    /** Idealized shadow-page overhead (Table 1 "ideal"). */
+    double
+    idealPct() const
+    {
+        return uniquePages
+                   ? 100.0 * avgLiveDirtyPages / double(uniquePages)
+                   : 0.0;
+    }
+};
+
+class System
+{
+  public:
+    explicit System(const SystemParams &params);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** @name Workload construction */
+    /// @{
+    ProcId createProcess();
+    void
+    shareSegment(const std::vector<ProcId> &procs, Addr vbase,
+                 unsigned pages)
+    {
+        os_.shareSegment(procs, vbase, pages);
+    }
+    void
+    shareSegmentAt(const std::vector<std::pair<ProcId, Addr>> &views,
+                   unsigned pages)
+    {
+        os_.shareSegmentAt(views, pages);
+    }
+    ThreadCtx &addThread(ProcId proc, std::vector<Step> steps,
+                         std::string name = {});
+    unsigned createBarrier(unsigned count)
+    {
+        return os_.createBarrier(count);
+    }
+    std::uint32_t createOrderedScope()
+    {
+        return txmgr_.createOrderedScope();
+    }
+    /// @}
+
+    /**
+     * Run until every thread finishes (or params.maxTicks).
+     * @return the final simulated tick.
+     */
+    Tick run();
+
+    /** Aggregate statistics (valid after run()). */
+    RunStats stats() const;
+
+    /** Print a human-readable statistics dump. */
+    void dumpStats(std::ostream &os) const;
+
+    /** @name Component access (tests, benches) */
+    /// @{
+    EventQueue &eq() { return eq_; }
+    PhysMem &phys() { return phys_; }
+    TxManager &txmgr() { return txmgr_; }
+    MemSystem &mem() { return mem_; }
+    OsKernel &os() { return os_; }
+    Core &core(CoreId c) { return *cores_[c]; }
+    /** The PTM supervisor, or nullptr for non-PTM systems. */
+    Vts *vts() { return vts_; }
+    TmBackend *backend() { return backend_.get(); }
+    const SystemParams &params() const { return params_; }
+    ThreadCtx &thread(ThreadId t) { return *threads_[t]; }
+    unsigned numThreads() const { return unsigned(threads_.size()); }
+    /// @}
+
+    /**
+     * Functional read of committed memory at (proc, vaddr) — used by
+     * workload result verification after the run.
+     */
+    std::uint32_t readWord32(ProcId proc, Addr vaddr);
+
+  private:
+    void wireHooks();
+    void unparkIfWaiting(ThreadCtx *t, ThreadState expected);
+
+    SystemParams params_;
+    EventQueue eq_;
+    PhysMem phys_;
+    FrameAllocator frames_;
+    TxManager txmgr_;
+    MemSystem mem_;
+    OsKernel os_;
+    std::unique_ptr<TmBackend> backend_;
+    Vts *vts_ = nullptr; //!< non-owning view of backend_ when PTM
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<ThreadCtx>> threads_;
+    bool hit_limit_ = false;
+};
+
+} // namespace ptm
+
+#endif // PTM_HARNESS_SYSTEM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Physical frame allocator shared by the OS model (process pages) and
+ * the PTM supervisor (shadow pages).
+ */
+
+#ifndef PTM_MEM_FRAME_ALLOC_HH
+#define PTM_MEM_FRAME_ALLOC_HH
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** Free-list allocator over the physical frames [1, numFrames). Frame 0
+ *  is reserved so that physical address 0 is never mapped. */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(std::uint64_t num_frames)
+        : num_frames_(num_frames)
+    {
+        fatal_if(num_frames < 2, "need at least two physical frames");
+    }
+
+    /** Allocate one frame; fatal on exhaustion (the OS should have
+     *  swapped first). */
+    PageNum
+    alloc()
+    {
+        ++allocated_;
+        if (!free_list_.empty()) {
+            PageNum p = free_list_.back();
+            free_list_.pop_back();
+            return p;
+        }
+        fatal_if(next_ >= num_frames_,
+                 "out of physical memory (%llu frames)",
+                 (unsigned long long)num_frames_);
+        return next_++;
+    }
+
+    /** Return a frame to the free list. */
+    void
+    free(PageNum p)
+    {
+        panic_if(p == 0 || p >= next_, "freeing bad frame %llu",
+                 (unsigned long long)p);
+        --allocated_;
+        free_list_.push_back(p);
+    }
+
+    /** Frames currently handed out. */
+    std::uint64_t inUse() const { return allocated_; }
+
+    /** Frames still allocatable without swapping. */
+    std::uint64_t
+    available() const
+    {
+        return (num_frames_ - next_) + free_list_.size();
+    }
+
+    std::uint64_t capacity() const { return num_frames_; }
+
+  private:
+    std::uint64_t num_frames_;
+    PageNum next_ = 1;
+    std::vector<PageNum> free_list_;
+    std::uint64_t allocated_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_MEM_FRAME_ALLOC_HH

@@ -1,0 +1,747 @@
+/**
+ * @file
+ * MemSystem implementation: MOESI snoopy coherence with transactional
+ * extensions, versioning-policy hooks, and bus/DRAM timing.
+ */
+
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace ptm
+{
+
+MemSystem::MemSystem(const SystemParams &params, EventQueue &eq,
+                     PhysMem &phys, TxManager &txmgr)
+    : params_(params), eq_(eq), phys_(phys), txmgr_(txmgr),
+      bus_(params.busLatency),
+      dram_(params.dramLatency, params.dramPipeline,
+            params.dramWriteOccupancy)
+{
+    for (unsigned c = 0; c < params.numCores; ++c) {
+        l1_.push_back(std::make_unique<L1Filter>(params.l1Bytes,
+                                                 params.l1Assoc));
+        l2_.push_back(std::make_unique<CacheArray>(params.l2Bytes,
+                                                   params.l2Assoc));
+    }
+}
+
+std::uint16_t
+MemSystem::accessMask(Addr paddr) const
+{
+    if (wordMode())
+        return std::uint16_t(1u << wordIdx(paddr));
+    return 0xffff;
+}
+
+void
+MemSystem::lineConflicts(const Access &acc, std::uint16_t mask,
+                         const CacheLine &line,
+                         std::vector<TxId> &out) const
+{
+    bool write = acc.isWrite || acc.isCas;
+    for (const auto &m : line.marks) {
+        if (m.tx == acc.tx)
+            continue;
+        std::uint16_t conflict_mask =
+            write ? std::uint16_t(m.readWords | m.writeWords)
+                  : m.writeWords;
+        if ((conflict_mask & mask) && txmgr_.isLive(m.tx))
+            out.push_back(m.tx);
+    }
+}
+
+std::optional<std::pair<Tick, AccessResult>>
+MemSystem::trySync(const Access &acc)
+{
+    const Addr block = blockAlign(acc.paddr);
+    const std::uint16_t mask = accessMask(acc.paddr);
+    const bool write = acc.isWrite || acc.isCas;
+    CoreId c = acc.core;
+
+    // L1 filter: a hit means the mirrored L2 line can satisfy the
+    // access with no state changes, or (word mode) with only new
+    // same-transaction word bits, which the L1 sets at full speed.
+    if (L1Filter::Entry *e = l1_[c]->find(block)) {
+        bool ok = false;
+        bool extend = false;
+        if (acc.tx != invalidTxId) {
+            if (e->txId == acc.tx) {
+                std::uint16_t have =
+                    write ? e->txWriteWords
+                          : std::uint16_t(e->txReadWords |
+                                          e->txWriteWords);
+                ok = (have & mask) == mask && (!write || e->writable);
+                if (!ok && wordMode()) {
+                    // The entry exists, so no foreign speculative
+                    // writer is present (loads are safe) and writable
+                    // implies no foreign marks at all (stores are
+                    // safe). A prior own write (txWriteWords != 0)
+                    // means the committed-writeback already happened.
+                    extend = !write ||
+                             (e->writable && e->txWriteWords != 0);
+                }
+            }
+        } else {
+            ok = e->txId == invalidTxId && (!write || e->writable);
+        }
+        if (ok || extend) {
+            CacheLine *line = l2_[c]->find(block);
+            panic_if(!line, "L1 hit without inclusive L2 line");
+            std::uint32_t v = applyOp(acc, *line);
+            if (extend) {
+                setMarks(acc, *line);
+                if (TxMark *m = line->findMark(acc.tx)) {
+                    e->txReadWords = m->readWords;
+                    e->txWriteWords = m->writeWords;
+                }
+            }
+            l2_[c]->touch(*line);
+            ++l1Hits;
+            return std::make_pair(params_.l1Latency,
+                                  AccessResult{v, false});
+        }
+    }
+
+    // L2 lookup.
+    CacheLine *line = l2_[c]->find(block);
+    if (!line)
+        return std::nullopt;
+
+    std::vector<TxId> confl;
+    lineConflicts(acc, mask, *line, confl);
+    if (!confl.empty())
+        return std::nullopt; // arbitration happens on the bus
+
+    Tick lat = params_.l1Latency + params_.l2Latency;
+    if (write) {
+        if (!moesiWritable(line->state))
+            return std::nullopt; // needs an upgrade
+        if (!wordMode() && acc.tx != invalidTxId && line->dirty() &&
+            line->writeMask() == 0) {
+            // First speculative overwrite of committed dirty data on a
+            // line we own exclusively: push the committed version into
+            // the writeback buffer (a local action — no coherence
+            // transaction needed), then proceed with the store. (Word
+            // modes persist per word in noteWordWrite instead.)
+            lat += writebackCommitted(*line) + params_.l2Latency;
+        }
+    }
+
+    std::uint32_t v = applyOp(acc, *line);
+    setMarks(acc, *line);
+    fillL1(c, *line, acc.tx);
+    l2_[c]->touch(*line);
+    ++l2Hits;
+    return std::make_pair(lat, AccessResult{v, false});
+}
+
+void
+MemSystem::request(const Access &acc, AccessCallback cb)
+{
+    Tick treq = eq_.curTick() + params_.l1Latency + params_.l2Latency;
+    Tick occupancy = params_.busLatency +
+                     (wordMode() ? params_.wordCoherenceOverhead : 0);
+    Tick grant = bus_.reserve(treq, occupancy);
+    eq_.schedule(grant, EventPriority::Memory,
+                 [this, acc, cb = std::move(cb), grant]() mutable {
+                     processGrant(acc, std::move(cb), grant, 0);
+                 });
+}
+
+void
+MemSystem::scheduleRetry(const Access &acc, AccessCallback cb, Tick when,
+                         unsigned attempt)
+{
+    panic_if(attempt > maxRetries,
+             "access to %#llx stalled forever (cleanup deadlock?)",
+             (unsigned long long)acc.paddr);
+    Tick occupancy = params_.busLatency +
+                     (wordMode() ? params_.wordCoherenceOverhead : 0);
+    Tick grant = bus_.reserve(when, occupancy);
+    eq_.schedule(grant, EventPriority::Memory,
+                 [this, acc, cb = std::move(cb), grant,
+                  attempt]() mutable {
+                     processGrant(acc, std::move(cb), grant, attempt);
+                 });
+}
+
+void
+MemSystem::processGrant(const Access &acc, AccessCallback cb,
+                        Tick grant_tick, unsigned attempt)
+{
+    const Addr block = blockAlign(acc.paddr);
+    const std::uint16_t mask = accessMask(acc.paddr);
+    const bool write = acc.isWrite || acc.isCas;
+    const CoreId c = acc.core;
+    ++misses;
+
+    // The requesting transaction may have been aborted while the
+    // request sat in the bus queue: squash.
+    if (acc.tx != invalidTxId && !txmgr_.isLive(acc.tx)) {
+        cb(grant_tick + params_.busLatency, AccessResult{0, true});
+        return;
+    }
+
+    // 1. Collect in-cache conflicts from every cache (including our
+    //    own line: a context-switched transaction's marks may live
+    //    there).
+    std::vector<TxId> confl;
+    for (CoreId o = 0; o < params_.numCores; ++o)
+        if (CacheLine *l = l2_[o]->find(block))
+            lineConflicts(acc, mask, *l, confl);
+
+    // 2. Consult the backend about overflowed state (only needed while
+    //    the global overflow flag is raised, section 3.1).
+    Tick extra = 0;
+    std::size_t cache_conflicts = confl.size();
+    if (backend_ && backend_->anyOverflow()) {
+        CheckResult cr = backend_->checkAccess(
+            BlockAccess{block, acc.tx, write, mask});
+        extra += cr.extraLatency;
+        if (cr.stall) {
+            ++falseStalls;
+            scheduleRetry(acc, std::move(cb),
+                          grant_tick + retryDelay + cr.extraLatency,
+                          attempt + 1);
+            return;
+        }
+        for (TxId t : cr.conflicts)
+            confl.push_back(t);
+    }
+
+    // 3. Arbitrate: oldest transaction wins; losers abort now (their
+    //    speculative lines are scrubbed by the abort hook).
+    if (!confl.empty()) {
+        ++conflicts;
+        if (!txmgr_.resolveConflicts(acc.tx, confl)) {
+            cb(grant_tick + params_.busLatency, AccessResult{0, true});
+            return;
+        }
+        if (confl.size() > cache_conflicts) {
+            // We aborted transactions with *overflowed* state; their
+            // background cleanup (e.g. Copy-PTM home-page restores)
+            // must drain before our access can observe memory, so go
+            // through the stall path.
+            scheduleRetry(acc, std::move(cb),
+                          grant_tick + retryDelay + extra, attempt + 1);
+            return;
+        }
+    }
+
+    // 4. Re-examine our line after conflict resolution.
+    CacheLine *own = l2_[c]->find(block);
+
+    if (own && (!write || moesiWritable(own->state))) {
+        // Local completion (a hit that only needed arbitration).
+        if (!wordMode() && write && acc.tx != invalidTxId &&
+            own->dirty() && own->writeMask() == 0)
+            extra += writebackCommitted(*own);
+        std::uint32_t v = applyOp(acc, *own);
+        setMarks(acc, *own);
+        fillL1(c, *own, acc.tx);
+        l2_[c]->touch(*own);
+        cb(grant_tick + params_.busLatency + extra,
+           AccessResult{v, false});
+        return;
+    }
+
+    // 5. Miss: make room first (the eviction may abort transactions in
+    //    wd:cache mode, possibly even the requester).
+    CacheLine *target = own;
+    if (!target) {
+        CacheLine &victim = l2_[c]->victim(block);
+        if (victim.valid()) {
+            extra += evictLine(c, victim);
+            l1Invalidate(c, victim.addr);
+            victim.invalidate();
+            if (acc.tx != invalidTxId && !txmgr_.isLive(acc.tx)) {
+                cb(grant_tick + params_.busLatency + extra,
+                   AccessResult{0, true});
+                return;
+            }
+        }
+        target = &victim;
+    }
+
+    // 6. Snoop: find a source copy. Live marks always travel with the
+    //    data: on a write the other copies are invalidated and their
+    //    marks migrate; on a read the new shared copy replicates the
+    //    source's marks so local conflict checks and word-granularity
+    //    abort restores see them on every copy.
+    CacheLine *src = nullptr;
+    CoreId src_core = 0;
+    bool any_other_copy = false;
+    std::uint16_t migrated_dirty = 0;
+    std::vector<TxMark> migrated;
+    for (CoreId o = 0; o < params_.numCores; ++o) {
+        if (o == c)
+            continue;
+        CacheLine *l = l2_[o]->find(block);
+        if (!l)
+            continue;
+        any_other_copy = true;
+        if (l->state == Moesi::M || l->state == Moesi::O ||
+            l->state == Moesi::E) {
+            src = l;
+            src_core = o;
+        }
+        if (write) {
+            for (const auto &m : l->marks)
+                if (txmgr_.isLive(m.tx))
+                    migrated.push_back(m);
+            migrated_dirty |= l->dirtyWords;
+        }
+    }
+    if (!write && src) {
+        for (const auto &m : src->marks)
+            if (txmgr_.isLive(m.tx))
+                migrated.push_back(m);
+    }
+
+    bool dirty_data;
+    std::uint16_t union_write = 0;
+    std::uint8_t data[blockBytes];
+    if (src) {
+        std::memcpy(data, src->data, blockBytes);
+        dirty_data = src->dirty();
+        ++cacheToCache;
+    } else if (own) {
+        std::memcpy(data, own->data, blockBytes);
+        dirty_data = own->dirty();
+    } else {
+        dirty_data = false;
+    }
+
+    Tick data_ready = grant_tick + params_.busLatency;
+    std::uint16_t fill_spec_words = 0;
+    std::vector<TxMark> fill_foreign;
+    if (!src && !own) {
+        // Serviced by memory: the fetch is initiated in parallel with
+        // conflict resolution (section 4.4).
+        Tick dram_done = dram_.access(grant_tick);
+        Tick fill_extra =
+            backend_ ? backend_->fillBlock(block, acc.tx, data,
+                                           fill_spec_words,
+                                           fill_foreign)
+                     : (phys_.readBlock(block, data), Tick(0));
+        data_ready = std::max(data_ready, dram_done + fill_extra);
+    }
+
+    if (write) {
+        // Invalidate the other copies; their live marks migrate with
+        // the data (word-granularity modes can legitimately have
+        // non-conflicting marks of other transactions).
+        for (CoreId o = 0; o < params_.numCores; ++o) {
+            if (o == c)
+                continue;
+            if (CacheLine *l = l2_[o]->find(block)) {
+                l->invalidate();
+                l1Invalidate(o, block);
+            }
+        }
+    } else if (src) {
+        // GetS: the owner keeps ownership (M -> O), E degrades to S.
+        if (src->state == Moesi::M)
+            src->state = Moesi::O;
+        else if (src->state == Moesi::E)
+            src->state = Moesi::S;
+        l1Downgrade(src_core, block);
+    }
+
+    // 7. Install / update our line.
+    if (!own) {
+        target->addr = block;
+        target->marks.clear();
+        target->dirtyWords = migrated_dirty;
+        std::memcpy(target->data, data, blockBytes);
+        if (write) {
+            target->state = Moesi::M;
+        } else if (src) {
+            target->state = Moesi::S;
+        } else {
+            bool may_excl =
+                !any_other_copy &&
+                (!backend_ ||
+                 backend_->mayGrantExclusive(block, acc.tx));
+            target->state = may_excl ? Moesi::E : Moesi::S;
+        }
+    } else {
+        // Upgrade of our S/O copy.
+        if (src)
+            std::memcpy(target->data, data, blockBytes);
+        target->dirtyWords |= migrated_dirty;
+        target->state = Moesi::M;
+    }
+
+    // Merge migrated marks (word-granularity data movement).
+    for (const auto &m : migrated) {
+        TxMark &mine = target->mark(m.tx);
+        mine.readWords |= m.readWords;
+        mine.writeWords |= m.writeWords;
+    }
+    for (const auto &fm : fill_foreign) {
+        // Overflowed speculative words of other live transactions came
+        // with the fill: the line must carry their marks.
+        TxMark &mine = target->mark(fm.tx);
+        mine.readWords |= fm.readWords;
+        mine.writeWords |= fm.writeWords;
+    }
+    if (fill_spec_words && acc.tx != invalidTxId) {
+        // The fill contains the requester's own overflowed speculative
+        // words: restore the write marking (the line is speculative,
+        // not a committed copy).
+        target->mark(acc.tx).writeWords |= fill_spec_words;
+        if (!moesiWritable(target->state))
+            target->state = Moesi::M;
+        else if (target->state == Moesi::E)
+            target->state = Moesi::M;
+    }
+    for (const auto &m : target->marks)
+        union_write |= m.writeWords;
+
+    // 8. Before a transaction's first speculative overwrite of dirty
+    //    committed data, persist the committed version (block mode;
+    //    word modes persist per word in noteWordWrite).
+    if (!wordMode() && write && acc.tx != invalidTxId && dirty_data &&
+        union_write == 0)
+        extra += writebackCommitted(*target);
+
+    if (write && !moesiWritable(target->state))
+        target->state = Moesi::M;
+
+    std::uint32_t v = applyOp(acc, *target);
+    setMarks(acc, *target);
+    fillL1(c, *target, acc.tx);
+    l2_[c]->touch(*target);
+
+    cb(std::max(data_ready, grant_tick + params_.busLatency) + extra,
+       AccessResult{v, false});
+}
+
+Tick
+MemSystem::writebackCommitted(CacheLine &line)
+{
+    ++writebacks;
+    line.dirtyWords = 0;
+    if (backend_)
+        return backend_->writebackBlock(line.addr, line.data, 0xffff);
+    phys_.writeBlock(line.addr, line.data);
+    dram_.write(eq_.curTick()); // posted write
+    return 0;
+}
+
+Tick
+MemSystem::evictLine(CoreId c, CacheLine &victim)
+{
+    (void)c;
+    ++evictions;
+    Tick lat = 0;
+
+    // wd:cache (Figure 5): word-granularity detection in the caches,
+    // but the overflow structures track one writer per block, so a
+    // multi-writer block eviction aborts all but the oldest writer.
+    if (params_.granularity == Granularity::WordCache &&
+        victim.writerCount() > 1) {
+        TxId oldest = invalidTxId;
+        std::uint64_t best_age = ~std::uint64_t(0);
+        for (const auto &m : victim.marks) {
+            if (!m.writeWords || !txmgr_.isLive(m.tx))
+                continue;
+            const Transaction *t = txmgr_.get(m.tx);
+            if (t->age < best_age) {
+                best_age = t->age;
+                oldest = m.tx;
+            }
+        }
+        // Abort hooks restore the younger writers' words in place.
+        std::vector<TxId> losers;
+        for (const auto &m : victim.marks)
+            if (m.writeWords && m.tx != oldest && txmgr_.isLive(m.tx))
+                losers.push_back(m.tx);
+        for (TxId t : losers)
+            txmgr_.abort(t, AbortReason::MultiWriterEviction);
+    }
+
+    if (blockAlign(debugWatchAddr) == victim.addr)
+        tracef(eq_.curTick(), "mem",
+               "EVICT-LINE state=%s val=%u marks=%zu dirtyW=%x",
+               moesiName(victim.state),
+               victim.readWord32(byteOff(debugWatchAddr)),
+               victim.marks.size(), victim.dirtyWords);
+    std::uint16_t spec_words = 0;
+    std::vector<TxMark> live;
+    for (const auto &m : victim.marks)
+        if (txmgr_.isLive(m.tx))
+            live.push_back(m);
+
+    for (const auto &m : live) {
+        ++txEvictions;
+        if (backend_)
+            lat += backend_->evictTxBlock(victim.addr, m.tx,
+                                          m.writeWords != 0,
+                                          victim.data, m.readWords,
+                                          m.writeWords);
+        spec_words |= m.writeWords;
+    }
+
+    if (victim.dirty()) {
+        // Write the non-speculative dirty words back to their
+        // committed locations (whole block in block mode; exactly the
+        // tracked dirty words in word modes, so stale line words can
+        // never clobber newer committed memory).
+        std::uint16_t commit_words =
+            wordMode() ? std::uint16_t(victim.dirtyWords & ~spec_words)
+                       : std::uint16_t(~spec_words);
+        if (commit_words) {
+            ++writebacks;
+            if (backend_) {
+                lat += backend_->writebackBlock(victim.addr,
+                                                victim.data,
+                                                commit_words);
+            } else {
+                phys_.writeBlock(victim.addr, victim.data);
+                dram_.write(eq_.curTick()); // posted write
+            }
+        }
+    }
+    return lat;
+}
+
+std::uint32_t
+MemSystem::applyOp(const Access &acc, CacheLine &line)
+{
+    unsigned off = byteOff(acc.paddr);
+    if (acc.paddr == debugWatchAddr) {
+        tracef(eq_.curTick(), "mem",
+               "%s tx=%llu core=%u val=%u old=%u",
+               acc.isCas ? "CAS" : acc.isWrite ? "STORE" : "LOAD",
+               (unsigned long long)acc.tx, acc.core,
+               acc.isWrite || acc.isCas ? acc.storeValue : 0,
+               line.readWord32(off));
+    }
+    if (acc.isCas) {
+        std::uint32_t old = line.readWord32(off);
+        if (old == acc.casExpected) {
+            noteWordWrite(acc, line);
+            line.writeWord32(off, acc.storeValue);
+            line.state = Moesi::M;
+        }
+        return old;
+    }
+    if (acc.isWrite) {
+        noteWordWrite(acc, line);
+        line.writeWord32(off, acc.storeValue);
+        line.state = Moesi::M;
+        return acc.storeValue;
+    }
+    return line.readWord32(off);
+}
+
+void
+MemSystem::noteWordWrite(const Access &acc, CacheLine &line)
+{
+    std::uint16_t bit = std::uint16_t(1u << wordIdx(acc.paddr));
+    if (acc.tx == invalidTxId) {
+        // The committed value now lives only in the line.
+        line.dirtyWords |= bit;
+        return;
+    }
+    if (wordMode() && (line.dirtyWords & bit)) {
+        // A speculative store is about to overwrite a committed word
+        // whose only up-to-date copy is this line: persist it first.
+        // Batch all of the line's dirty committed words into the one
+        // posted write-back so repeated stores across a transaction
+        // cost what block mode's whole-line persist costs.
+        ++writebacks;
+        if (backend_)
+            backend_->writebackBlock(line.addr, line.data,
+                                     line.dirtyWords);
+        else
+            phys_.writeBlock(line.addr, line.data);
+        line.dirtyWords = 0;
+    }
+}
+
+void
+MemSystem::setMarks(const Access &acc, CacheLine &line)
+{
+    if (acc.tx == invalidTxId)
+        return;
+    std::uint16_t mask = accessMask(acc.paddr);
+    TxMark &m = line.mark(acc.tx);
+    if (acc.isWrite || acc.isCas)
+        m.writeWords |= mask;
+    if (!acc.isWrite || acc.isCas)
+        m.readWords |= mask;
+}
+
+void
+MemSystem::fillL1(CoreId c, const CacheLine &line, TxId tx)
+{
+    // A foreign speculative writer makes any L1 fast path unsafe.
+    bool foreign_any = false;
+    bool foreign_write = false;
+    for (const auto &m : line.marks) {
+        if (m.tx != tx && txmgr_.isLive(m.tx)) {
+            foreign_any = true;
+            if (m.writeWords)
+                foreign_write = true;
+        }
+    }
+    if (foreign_write) {
+        l1_[c]->invalidate(line.addr);
+        return;
+    }
+
+    L1Filter::Entry &e = l1_[c]->insert(line.addr);
+    e.writable = moesiWritable(line.state) && !foreign_any;
+    e.txId = tx;
+    e.txReadWords = 0;
+    e.txWriteWords = 0;
+    if (tx != invalidTxId) {
+        for (const auto &m : line.marks) {
+            if (m.tx == tx) {
+                e.txReadWords = m.readWords;
+                e.txWriteWords = m.writeWords;
+                break;
+            }
+        }
+    }
+}
+
+void
+MemSystem::l1Invalidate(CoreId c, Addr block)
+{
+    l1_[c]->invalidate(block);
+}
+
+void
+MemSystem::l1Downgrade(CoreId c, Addr block)
+{
+    l1_[c]->downgrade(block);
+}
+
+void
+MemSystem::commitClearTx(TxId tx)
+{
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        l2_[c]->forEachValid([&](CacheLine &l) {
+            if (TxMark *m = l.findMark(tx)) {
+                // The speculative words become committed: their only
+                // up-to-date copy is this line now.
+                l.dirtyWords |= m->writeWords;
+                l.removeMark(tx);
+            }
+        });
+        l1_[c]->forEachValid([&](L1Filter::Entry &e) {
+            if (e.txId == tx) {
+                e.txId = invalidTxId;
+                e.txReadWords = 0;
+                e.txWriteWords = 0;
+            }
+        });
+    }
+}
+
+void
+MemSystem::abortInvalidate(TxId tx)
+{
+    const bool block_mode = !wordMode();
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        l2_[c]->forEachValid([&](CacheLine &l) {
+            TxMark *m = l.findMark(tx);
+            if (!m)
+                return;
+            if (m->writeWords) {
+                if (block_mode) {
+                    l1Invalidate(c, l.addr);
+                    l.invalidate();
+                    return;
+                }
+                restoreWords(l, *m);
+                // The restored words match committed memory again.
+                l.dirtyWords &= std::uint16_t(~m->writeWords);
+            }
+            l.removeMark(tx);
+        });
+        l1_[c]->forEachValid([&](L1Filter::Entry &e) {
+            if (e.txId == tx)
+                e.valid = false;
+        });
+    }
+}
+
+void
+MemSystem::restoreWords(CacheLine &line, const TxMark &mark)
+{
+    std::uint16_t w = mark.writeWords;
+    for (unsigned i = 0; i < wordsPerBlock; ++i) {
+        if (!(w & (1u << i)))
+            continue;
+        Addr word_addr = line.addr + Addr(i) * wordBytes;
+        std::uint32_t committed =
+            backend_ ? backend_->readCommittedWord32(word_addr)
+                     : phys_.readWord32(word_addr);
+        if (word_addr == debugWatchAddr)
+            tracef(eq_.curTick(), "mem", "RESTORE tx=%llu val=%u",
+                   (unsigned long long)mark.tx, committed);
+        line.writeWord32(i * unsigned(wordBytes), committed);
+    }
+}
+
+Tick
+MemSystem::flushTxLines(TxId tx)
+{
+    Tick lat = 0;
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        l2_[c]->forEachValid([&](CacheLine &l) {
+            if (!l.findMark(tx))
+                return;
+            lat += evictLine(c, l);
+            l1Invalidate(c, l.addr);
+            l.invalidate();
+        });
+    }
+    return lat;
+}
+
+Tick
+MemSystem::flushPage(PageNum home)
+{
+    Tick lat = 0;
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        l2_[c]->forEachValid([&](CacheLine &l) {
+            if (pageOf(l.addr) != home)
+                return;
+            lat += evictLine(c, l);
+            l1Invalidate(c, l.addr);
+            l.invalidate();
+        });
+    }
+    return lat;
+}
+
+std::uint32_t
+MemSystem::debugReadWord32(Addr paddr, TxId tx)
+{
+    (void)tx;
+    Addr block = blockAlign(paddr);
+    const CacheLine *best = nullptr;
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        if (const CacheLine *l = l2_[c]->find(block)) {
+            if (!best || l->dirty())
+                best = l;
+        }
+    }
+    if (best)
+        return best->readWord32(byteOff(paddr));
+    if (backend_)
+        return backend_->readCommittedWord32(wordAlign(paddr));
+    return phys_.readWord32(wordAlign(paddr));
+}
+
+} // namespace ptm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Timing resources: the snoopy bus and the pipelined DRAM controller.
+ *
+ * Both are modeled as reservation timelines. Callers ask to reserve the
+ * resource starting no earlier than "now"; the resource returns the
+ * actual start tick given earlier reservations, which yields FIFO
+ * queuing with deterministic ordering (events at equal ticks execute in
+ * insertion order).
+ */
+
+#ifndef PTM_MEM_TIMING_HH
+#define PTM_MEM_TIMING_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/**
+ * The on-chip snoopy bus. One coherence transaction occupies the bus at
+ * a time; the minimum round trip (arbitration + snoop + response) is
+ * busLatency cycles.
+ */
+class BusModel
+{
+  public:
+    explicit BusModel(Tick latency) : latency_(latency) {}
+
+    /** Minimum round-trip latency of one transaction. */
+    Tick latency() const { return latency_; }
+
+    /**
+     * Reserve the bus for one transaction of @p occupancy cycles
+     * (defaults to the full round trip) starting at or after @p now.
+     * @return the tick at which the transaction is granted.
+     */
+    Tick
+    reserve(Tick now, Tick occupancy = 0)
+    {
+        if (occupancy == 0)
+            occupancy = latency_;
+        Tick grant = std::max(now, free_at_);
+        free_at_ = grant + occupancy;
+        ++transactions_;
+        busy_cycles_ += occupancy;
+        return grant;
+    }
+
+    /** Statistics: total transactions granted. */
+    std::uint64_t transactions() const { return transactions_; }
+    /** Statistics: total cycles the bus was occupied. */
+    std::uint64_t busyCycles() const { return busy_cycles_; }
+
+  private:
+    Tick latency_;
+    Tick free_at_ = 0;
+    std::uint64_t transactions_ = 0;
+    std::uint64_t busy_cycles_ = 0;
+};
+
+/**
+ * Main-memory controller: fixed access latency with a small number of
+ * requests in flight ("up to three requests can be pipelined
+ * simultaneously" — PTM paper, section 6.1).
+ */
+class DramModel
+{
+  public:
+    DramModel(Tick latency, unsigned pipeline,
+              Tick write_occupancy = 0)
+        : latency_(latency),
+          write_occupancy_(write_occupancy ? write_occupancy : latency),
+          slot_free_(std::max(1u, pipeline), 0)
+    {}
+
+    Tick latency() const { return latency_; }
+
+    /**
+     * Issue one memory access at or after @p now.
+     * @return the tick at which the access completes.
+     */
+    Tick
+    access(Tick now)
+    {
+        // Pick the slot that frees earliest.
+        auto it = std::min_element(slot_free_.begin(), slot_free_.end());
+        Tick start = std::max(now, *it);
+        Tick done = start + latency_;
+        *it = done;
+        ++accesses_;
+        return done;
+    }
+
+    /**
+     * Issue @p n back-to-back accesses (a multi-block copy or a TAV
+     * list walk) at or after @p now.
+     * @return completion tick of the last access.
+     */
+    Tick
+    accessBurst(Tick now, std::uint64_t n)
+    {
+        Tick done = now;
+        for (std::uint64_t i = 0; i < n; ++i)
+            done = access(now);
+        return done;
+    }
+
+    /**
+     * Issue one posted write at or after @p now. Writes occupy a bank
+     * slot for the (shorter) write occupancy rather than the full read
+     * latency — nobody waits for them, but they consume bandwidth.
+     * @return the tick at which the slot frees.
+     */
+    Tick
+    write(Tick now)
+    {
+        auto it = std::min_element(slot_free_.begin(), slot_free_.end());
+        Tick start = std::max(now, *it);
+        Tick done = start + write_occupancy_;
+        *it = done;
+        ++accesses_;
+        ++writes_;
+        return done;
+    }
+
+    /** Statistics: total accesses issued. */
+    std::uint64_t accesses() const { return accesses_; }
+    /** Statistics: posted writes issued. */
+    std::uint64_t writes() const { return writes_; }
+
+  private:
+    Tick latency_;
+    Tick write_occupancy_;
+    std::uint64_t writes_ = 0;
+    std::vector<Tick> slot_free_;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_MEM_TIMING_HH

@@ -1,0 +1,817 @@
+/**
+ * @file
+ * Virtual Transaction Supervisor implementation.
+ */
+
+#include "ptm/vts.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ptm
+{
+
+bool
+VtsMetaCache::access(std::uint64_t key, bool mark_dirty,
+                     bool &evicted_dirty)
+{
+    evicted_dirty = false;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second.lastUse = ++clock_;
+        it->second.dirty |= mark_dirty;
+        ++hits;
+        return true;
+    }
+    ++misses;
+    if (map_.size() >= capacity_) {
+        auto victim = map_.begin();
+        for (auto i = map_.begin(); i != map_.end(); ++i)
+            if (i->second.lastUse < victim->second.lastUse)
+                victim = i;
+        if (victim->second.dirty) {
+            evicted_dirty = true;
+            ++dirtyEvictions;
+        }
+        map_.erase(victim);
+    }
+    map_[key] = Entry{++clock_, mark_dirty};
+    return false;
+}
+
+void
+VtsMetaCache::remove(std::uint64_t key)
+{
+    map_.erase(key);
+}
+
+Vts::Vts(const SystemParams &params, EventQueue &eq, PhysMem &phys,
+         TxManager &txmgr, FrameAllocator &frames, DramModel &dram)
+    : sptCache(params.sptCacheEntries), tavCache(params.tavCacheEntries),
+      params_(params), eq_(eq), phys_(phys), txmgr_(txmgr),
+      frames_(frames), dram_(dram),
+      gran_(params.granularity == Granularity::WordCacheMem),
+      select_(params.tmKind == TmKind::SelectPtm)
+{
+    panic_if(params.tmKind != TmKind::SelectPtm &&
+                 params.tmKind != TmKind::CopyPtm,
+             "Vts built for a non-PTM system kind");
+}
+
+Vts::~Vts()
+{
+    auto free_list = [](SptEntry &e) {
+        TavNode *t = e.tavHead;
+        while (t) {
+            TavNode *next = t->nextOnPage;
+            delete t;
+            t = next;
+        }
+        e.tavHead = nullptr;
+    };
+    for (auto &[p, e] : spt_)
+        free_list(e);
+    for (auto &[s, e] : sit_)
+        free_list(e);
+}
+
+SptEntry &
+Vts::entryFor(PageNum home)
+{
+    auto it = spt_.find(home);
+    if (it != spt_.end())
+        return it->second;
+    SptEntry &e = spt_[home];
+    e.home = home;
+    e.selection = gran_.makeVec();
+    e.writeSummary = gran_.makeVec();
+    e.readSummary = gran_.makeVec();
+    return e;
+}
+
+SptEntry *
+Vts::findEntry(PageNum home)
+{
+    auto it = spt_.find(home);
+    return it == spt_.end() ? nullptr : &it->second;
+}
+
+const SptEntry *
+Vts::findEntry(PageNum home) const
+{
+    auto it = spt_.find(home);
+    return it == spt_.end() ? nullptr : &it->second;
+}
+
+const SptEntry *
+Vts::sptEntry(PageNum home) const
+{
+    return findEntry(home);
+}
+
+Tick
+Vts::sptLookupCost(PageNum home)
+{
+    bool evicted_dirty = false;
+    bool hit = sptCache.access(home, false, evicted_dirty);
+    Tick now = eq_.curTick();
+    Tick done = now;
+    if (!hit) {
+        // Walk the in-memory SPT entry and rebuild the summary vectors
+        // from the TAV list (section 4.2.2); the TAV nodes met during
+        // the walk enter the TAV cache.
+        done = dram_.access(now);
+        if (SptEntry *e = findEntry(home)) {
+            for (TavNode *t = e->tavHead; t; t = t->nextOnPage) {
+                done = dram_.access(done);
+                bool evd = false;
+                tavCache.access(tavKey(home, t->tx), false, evd);
+                if (evd)
+                    done = dram_.access(done);
+            }
+        }
+    }
+    if (evicted_dirty)
+        done = dram_.access(done);
+    return hit ? params_.vtsCacheLatency
+               : std::max(done - now, params_.vtsCacheLatency);
+}
+
+Tick
+Vts::tavLookupCost(PageNum home, TxId tx, bool mark_dirty)
+{
+    bool evicted_dirty = false;
+    bool hit = tavCache.access(tavKey(home, tx), mark_dirty,
+                               evicted_dirty);
+    Tick now = eq_.curTick();
+    Tick done = now;
+    if (!hit)
+        done = dram_.access(now);
+    if (evicted_dirty)
+        done = dram_.access(done);
+    return done - now;
+}
+
+CheckResult
+Vts::checkAccess(const BlockAccess &acc)
+{
+    CheckResult r;
+    PageNum page = pageOf(acc.blockAddr);
+    r.extraLatency += sptLookupCost(page);
+
+    SptEntry *e = findEntry(page);
+    if (!e)
+        return r;
+
+    // Summary-vector filter: no overflowed writer and (for writes) no
+    // overflowed reader means no conflict (section 4.4.2). A block
+    // with overflowed writes in *any* word must still be scanned: a
+    // pending commit/abort of it stalls the whole-block fill.
+    bool wsum = gran_.anySet(e->writeSummary, acc.blockAddr,
+                             acc.wordMask);
+    bool rsum = gran_.anySet(e->readSummary, acc.blockAddr,
+                             acc.wordMask);
+    bool wsum_block =
+        gran_.anySet(e->writeSummary, acc.blockAddr, 0xffff);
+    if (!wsum && !(acc.isWrite && rsum) && !wsum_block)
+        return r;
+
+    for (TavNode *t = e->tavHead; t; t = t->nextOnPage) {
+        if (t->tx == acc.tx)
+            continue;
+        switch (txmgr_.stateOf(t->tx)) {
+          case TxState::Running: {
+              bool hit_write = gran_.anySet(t->write, acc.blockAddr,
+                                            acc.wordMask);
+              bool hit_read =
+                  acc.isWrite && gran_.anySet(t->read, acc.blockAddr,
+                                              acc.wordMask);
+              if (hit_write || hit_read) {
+                  r.extraLatency += tavLookupCost(page, t->tx, false);
+                  r.conflicts.push_back(t->tx);
+              }
+              break;
+          }
+          case TxState::Committing:
+          case TxState::Aborting:
+            // Lazy cleanup has not reached this page yet. The check is
+            // at *block* granularity regardless of the conflict
+            // granularity: a fill composes the whole block, so every
+            // pending word of it must be published first (4.5).
+            if (gran_.anySet(t->write, acc.blockAddr, 0xffff)) {
+                r.extraLatency += tavLookupCost(page, t->tx, false);
+                r.stall = true;
+                ++stallsSignalled;
+            }
+            break;
+          default:
+            panic("TAV node of dead transaction %llu survived cleanup",
+                  (unsigned long long)t->tx);
+        }
+    }
+    return r;
+}
+
+bool
+Vts::effSelection(const SptEntry &e, unsigned i) const
+{
+    bool sel = e.selection.test(i);
+    // A Committing transaction's lazy walk will toggle the selection
+    // bit of every unit it wrote; until the walk reaches this page,
+    // writebacks and speculative deposits must already target the
+    // post-toggle locations, or a newer committed value written back
+    // in the window would be stranded in the stale location.
+    for (const TavNode *t = e.tavHead; t; t = t->nextOnPage) {
+        if (t->write.test(i) &&
+            txmgr_.stateOf(t->tx) == TxState::Committing)
+            sel = !sel;
+    }
+    return sel;
+}
+
+Addr
+Vts::committedUnitAddr(const SptEntry &e, unsigned i) const
+{
+    PageNum p = (select_ && e.hasShadow() && effSelection(e, i))
+                    ? e.shadow
+                    : e.home;
+    return gran_.unitAddr(p, i);
+}
+
+Addr
+Vts::specUnitAddr(const SptEntry &e, unsigned i) const
+{
+    panic_if(!e.hasShadow(), "speculative location without shadow page");
+    PageNum p = (select_ && effSelection(e, i)) ? e.home : e.shadow;
+    if (!select_)
+        p = e.home; // Copy-PTM: speculative data always in the home page
+    return gran_.unitAddr(p, i);
+}
+
+Tick
+Vts::fillBlock(Addr block_addr, TxId requester, std::uint8_t *dst,
+               std::uint16_t &spec_words, std::vector<TxMark> &foreign)
+{
+    foreign.clear();
+
+    PageNum page = pageOf(block_addr);
+    SptEntry *e = findEntry(page);
+    Tick extra = 0;
+    spec_words = 0;
+
+    if (!e) {
+        phys_.readBlock(block_addr, dst);
+        return 0;
+    }
+    // If the overflow flag is down the bus path skipped checkAccess,
+    // so charge the SPT-cache consultation here (the selection vector
+    // is still needed to locate committed data).
+    if (!anyOverflow())
+        extra += sptLookupCost(page);
+
+    TavNode *mine0 =
+        requester != invalidTxId ? e->findTav(requester) : nullptr;
+    if (!select_ || !e->hasShadow()) {
+        // Copy-PTM fetches from the home page; for the writer this is
+        // the speculative version, for everyone else the committed one
+        // (conflicting cases were resolved before the fill).
+        phys_.readBlock(block_addr, dst);
+        if (mine0) {
+            for (unsigned w = 0; w < wordsPerBlock; ++w) {
+                unsigned bit = gran_.wordBit(block_addr +
+                                             Addr(w) * wordBytes);
+                if (mine0->write.test(bit))
+                    spec_words |= std::uint16_t(1u << w);
+            }
+        }
+        return extra;
+    }
+
+    // Select-PTM: per unit, XOR of write-summary and selection decides
+    // the page; equivalently, the requester reads its own speculative
+    // units and committed units otherwise (section 4.4.1).
+    TavNode *mine = mine0;
+    unsigned block_off = unsigned(pageOffset(block_addr));
+    for (unsigned w = 0; w < wordsPerBlock; ++w) {
+        Addr word_addr = block_addr + Addr(w) * wordBytes;
+        unsigned bit = gran_.wordBit(word_addr);
+        Addr loc;
+        TxId writer = invalidTxId;
+        if (gran_.perWord() && (!mine || !mine->write.test(bit))) {
+            // Another live transaction's overflowed speculative word?
+            // The paper's XOR rule fetches the speculative location
+            // whenever the write-summary bit is set; the line then
+            // carries the writer's mark so conflicts keep firing on
+            // the cached copy (word-granularity sharing).
+            if (e->writeSummary.test(bit)) {
+                for (TavNode *t = e->tavHead; t; t = t->nextOnPage) {
+                    if (t->tx != requester && t->write.test(bit) &&
+                        txmgr_.isLive(t->tx)) {
+                        writer = t->tx;
+                        break;
+                    }
+                }
+            }
+        }
+        if (mine && mine->write.test(bit)) {
+            loc = specUnitAddr(*e, bit);
+            spec_words |= std::uint16_t(1u << w);
+        } else if (writer != invalidTxId) {
+            loc = specUnitAddr(*e, bit);
+            bool found = false;
+            for (auto &fm : foreign) {
+                if (fm.tx == writer) {
+                    fm.writeWords |= std::uint16_t(1u << w);
+                    found = true;
+                }
+            }
+            if (!found)
+                foreign.push_back(
+                    TxMark{writer, 0, std::uint16_t(1u << w)});
+        } else {
+            loc = committedUnitAddr(*e, bit);
+        }
+        // Unit addresses are page-relative at the same offset; pick
+        // the word within the chosen page.
+        Addr src = pageBase(pageOf(loc)) + block_off +
+                   Addr(w) * wordBytes;
+        std::uint32_t v = phys_.readWord32(src);
+        if (word_addr == debugWatchAddr)
+            tracef(eq_.curTick(), "vts",
+                   "FILL req=%llu val=%u spec=%d",
+                   (unsigned long long)requester, v,
+                   (int)(mine && mine->write.test(bit)));
+        std::memcpy(dst + w * wordBytes, &v, wordBytes);
+    }
+    return extra;
+}
+
+bool
+Vts::mayGrantExclusive(Addr block_addr, TxId requester)
+{
+    SptEntry *e = findEntry(pageOf(block_addr));
+    if (!e)
+        return true;
+    std::uint16_t full = 0xffff;
+    if (!gran_.anySet(e->readSummary, block_addr, full) &&
+        !gran_.anySet(e->writeSummary, block_addr, full))
+        return true;
+    for (TavNode *t = e->tavHead; t; t = t->nextOnPage) {
+        if (t->tx == requester)
+            continue;
+        if (gran_.anySet(t->read, block_addr, full) ||
+            gran_.anySet(t->write, block_addr, full))
+            return false;
+    }
+    return true;
+}
+
+void
+Vts::noteOverflow(TxId tx)
+{
+    Transaction *t = txmgr_.get(tx);
+    panic_if(!t, "overflow for unknown transaction");
+    if (!t->overflowed) {
+        t->overflowed = true;
+        ++overflowed_live_;
+    }
+}
+
+void
+Vts::ensureShadow(SptEntry &e)
+{
+    if (e.hasShadow())
+        return;
+    e.shadow = frames_.alloc();
+    ++shadow_pages_;
+    ++shadowAllocs;
+}
+
+void
+Vts::freeShadow(SptEntry &e)
+{
+    if (!e.hasShadow())
+        return;
+    phys_.releaseFrame(e.shadow);
+    frames_.free(e.shadow);
+    e.shadow = invalidPage;
+    --shadow_pages_;
+    ++shadowFrees;
+}
+
+void
+Vts::maybeFreeShadow(SptEntry &e)
+{
+    if (!e.hasShadow() || e.tavHead)
+        return;
+    if (!select_) {
+        // Copy-PTM: the shadow only holds backups for live
+        // transactions; free it as soon as nobody uses the page.
+        freeShadow(e);
+        return;
+    }
+    if (e.selection.none()) {
+        freeShadow(e);
+        return;
+    }
+    // Otherwise the shadow still holds committed units; MergeOnSwap
+    // frees it when the OS pages the home out, LazyMigrate when
+    // writebacks have drained the selection vector.
+}
+
+void
+Vts::refreshPage(SptEntry &e)
+{
+    e.writeSummary.reset();
+    e.readSummary.reset();
+    bool live_dirty = false;
+    for (TavNode *t = e.tavHead; t; t = t->nextOnPage) {
+        e.writeSummary |= t->write;
+        e.readSummary |= t->read;
+        if (t->write.any() && txmgr_.isLive(t->tx))
+            live_dirty = true;
+    }
+    if (live_dirty != e.liveDirty) {
+        e.liveDirty = live_dirty;
+        live_dirty_count_ += live_dirty ? 1 : -1;
+        live_dirty_.set(eq_.curTick(), double(live_dirty_count_));
+    }
+}
+
+Tick
+Vts::evictTxBlock(Addr block_addr, TxId tx, bool dirty_spec,
+                  const std::uint8_t *data, std::uint16_t read_words,
+                  std::uint16_t write_words)
+{
+    PageNum page = pageOf(block_addr);
+    SptEntry &e = entryFor(page);
+    Tick now = eq_.curTick();
+    Tick lat = sptLookupCost(page);
+    lat += tavLookupCost(page, tx, true);
+
+    TavNode *node = e.findTav(tx);
+    if (!node) {
+        node = new TavNode;
+        node->tx = tx;
+        node->home = page;
+        node->read = gran_.makeVec();
+        node->write = gran_.makeVec();
+        node->nextOnPage = e.tavHead;
+        e.tavHead = node;
+        node->nextOfTx = tx_head_[tx];
+        tx_head_[tx] = node;
+        ++tavNodesCreated;
+        // Creating the in-memory node is a posted memory write: it
+        // consumes bandwidth but does not hold the evicting access.
+        dram_.write(now + lat);
+    }
+
+    noteOverflow(tx);
+
+    if (dirty_spec) {
+        ensureShadow(e);
+
+        if (!select_) {
+            // Copy-PTM: back up the committed unit on its first dirty
+            // overflow, then store the speculative data in the home
+            // page (section 3.2.1).
+            gran_.forBits(block_addr, write_words, [&](unsigned i) {
+                if (!e.writeSummary.test(i) && !node->write.test(i)) {
+                    Addr home_u = gran_.unitAddr(e.home, i);
+                    Addr shadow_u = gran_.unitAddr(e.shadow, i);
+                    if (gran_.perWord())
+                        phys_.copyWord32(shadow_u, home_u);
+                    else
+                        phys_.copyBlock(shadow_u, home_u);
+                    ++copyBackups;
+                    // Posted backup copy: read + write bandwidth.
+                    dram_.access(now + lat);
+                    dram_.write(now + lat);
+                }
+            });
+        }
+
+        // Record the write bits *before* storing data so Select-PTM's
+        // speculative location sees the final vectors.
+        gran_.setBits(node->write, block_addr, write_words);
+
+        // Store the speculatively written words to the speculative
+        // location (Select: selection-determined page; Copy: home).
+        // With block-granularity vectors the whole block must land in
+        // the speculative page (its selection bit covers all 16 words,
+        // so unwritten words must carry their committed values too).
+        std::uint16_t store_words =
+            (select_ && !gran_.perWord()) ? std::uint16_t(0xffff)
+                                          : write_words;
+        unsigned block_off = unsigned(pageOffset(block_addr));
+        for (unsigned w = 0; w < wordsPerBlock; ++w) {
+            if (!(store_words & (1u << w)))
+                continue;
+            Addr word_addr = block_addr + Addr(w) * wordBytes;
+            unsigned bit = gran_.wordBit(word_addr);
+            Addr loc = specUnitAddr(e, bit);
+            Addr dst = pageBase(pageOf(loc)) + block_off +
+                       Addr(w) * wordBytes;
+            std::uint32_t v;
+            std::memcpy(&v, data + w * wordBytes, wordBytes);
+            if (block_addr + Addr(w) * wordBytes == debugWatchAddr)
+                tracef(eq_.curTick(), "vts",
+                       "SPEC-DEPOSIT tx=%llu val=%u sel=%d dst=%llx",
+                       (unsigned long long)tx, v,
+                       (int)e.selection.test(bit),
+                       (unsigned long long)dst);
+            phys_.writeWord32(dst, v);
+        }
+        // Posted block-sized memory write for the speculative data.
+        dram_.write(now + lat);
+    }
+
+    gran_.setBits(node->read, block_addr, read_words);
+    refreshPage(e);
+    return lat;
+}
+
+Tick
+Vts::writebackBlock(Addr block_addr, const std::uint8_t *data,
+                    std::uint16_t word_mask)
+{
+    PageNum page = pageOf(block_addr);
+    SptEntry *e = findEntry(page);
+    Tick now = eq_.curTick();
+    Tick lat = 0;
+
+    if (!e || !select_ || !e->hasShadow()) {
+        // Committed data lives in the home page.
+        unsigned block_off = unsigned(pageOffset(block_addr));
+        for (unsigned w = 0; w < wordsPerBlock; ++w) {
+            if (!(word_mask & (1u << w)))
+                continue;
+            std::uint32_t v;
+            std::memcpy(&v, data + w * wordBytes, wordBytes);
+            phys_.writeWord32(pageBase(page) + block_off +
+                                  Addr(w) * wordBytes,
+                              v);
+        }
+        dram_.write(now); // posted write
+        return 0;
+    }
+
+    lat += sptLookupCost(page);
+    bool lazy = params_.shadowFree == ShadowFreePolicy::LazyMigrate;
+    bool toggled = false;
+    unsigned block_off = unsigned(pageOffset(block_addr));
+    for (unsigned w = 0; w < wordsPerBlock; ++w) {
+        if (!(word_mask & (1u << w)))
+            continue;
+        Addr word_addr = block_addr + Addr(w) * wordBytes;
+        unsigned bit = gran_.wordBit(word_addr);
+        Addr loc;
+        if (lazy && effSelection(*e, bit) &&
+            !e->writeSummary.test(bit)) {
+            // Lazy shadow freeing: force the committed writeback to
+            // the home page and toggle the selection bit (3.5.2).
+            loc = gran_.unitAddr(e->home, bit);
+            e->selection.clear(bit);
+            toggled = true;
+            ++lazyMigrations;
+        } else {
+            loc = committedUnitAddr(*e, bit);
+        }
+        std::uint32_t v;
+        std::memcpy(&v, data + w * wordBytes, wordBytes);
+        if (block_addr + Addr(w) * wordBytes == debugWatchAddr)
+            tracef(eq_.curTick(), "vts", "CWB val=%u sel=%d", v,
+                   (int)e->selection.test(bit));
+        phys_.writeWord32(pageBase(pageOf(loc)) + block_off +
+                              Addr(w) * wordBytes,
+                          v);
+    }
+    if (toggled) {
+        bool evd = false;
+        sptCache.access(page, true, evd);
+        maybeFreeShadow(*e);
+    }
+    dram_.write(now + lat); // posted write
+    return lat;
+}
+
+std::uint32_t
+Vts::readCommittedWord32(Addr word_addr)
+{
+    PageNum page = pageOf(word_addr);
+    const SptEntry *e = findEntry(page);
+    if (!e || !select_ || !e->hasShadow())
+        return phys_.readWord32(word_addr);
+    unsigned bit = gran_.wordBit(word_addr);
+    Addr loc = committedUnitAddr(*e, bit);
+    return phys_.readWord32(pageBase(pageOf(loc)) +
+                            pageOffset(word_addr));
+}
+
+void
+Vts::commitTx(TxId tx)
+{
+    startCleanup(tx, true);
+}
+
+void
+Vts::abortTx(TxId tx)
+{
+    startCleanup(tx, false);
+}
+
+void
+Vts::startCleanup(TxId tx, bool is_commit)
+{
+
+    auto it = tx_head_.find(tx);
+    TavNode *head = it == tx_head_.end() ? nullptr : it->second;
+    if (it != tx_head_.end())
+        tx_head_.erase(it);
+
+    if (!head) {
+        // Never overflowed: commit/abort is handled entirely in-cache.
+        txmgr_.cleanupDone(tx);
+        return;
+    }
+
+    CleanupJob job;
+    job.isCommit = is_commit;
+    for (TavNode *t = head; t; t = t->nextOfTx)
+        job.nodes.push_back(t);
+    jobs_[tx] = std::move(job);
+    cleanupStep(tx);
+}
+
+void
+Vts::cleanupStep(TxId tx)
+{
+    CleanupJob &job = jobs_.at(tx);
+    TavNode *node = job.nodes[job.next];
+
+    Tick t = std::max(eq_.curTick(), supervisor_free_);
+    Tick done = dram_.access(t); // read and free the node
+    if (job.isCommit && select_ && node->write.any()) {
+        done = dram_.write(done); // selection-vector update
+    }
+    if (!job.isCommit && !select_) {
+        // Copy-PTM abort: restore each overwritten unit from the
+        // shadow page (one read + one write per unit).
+        unsigned units = node->write.count();
+        for (unsigned i = 0; i < units; ++i) {
+            done = dram_.access(done);
+            done = dram_.write(done);
+        }
+    }
+    supervisor_free_ = done;
+
+    eq_.schedule(done, EventPriority::Supervisor, [this, tx]() {
+        CleanupJob &j = jobs_.at(tx);
+        processNode(j, j.nodes[j.next]);
+        ++j.next;
+        if (j.next == j.nodes.size()) {
+            jobs_.erase(tx);
+            Transaction *txn = txmgr_.get(tx);
+            if (txn && txn->overflowed) {
+                panic_if(overflowed_live_ == 0,
+                         "overflow count underflow");
+                --overflowed_live_;
+            }
+            txmgr_.cleanupDone(tx);
+        } else {
+            cleanupStep(tx);
+        }
+    });
+}
+
+void
+Vts::processNode(CleanupJob &job, TavNode *node)
+{
+    SptEntry &e = spt_.at(node->home);
+
+    if (job.isCommit) {
+        ++commitWalkNodes;
+        if (select_ && node->write.any()) {
+            // Toggle the written units: the speculative location
+            // becomes the committed one.
+            e.selection ^= node->write;
+            if (pageOf(debugWatchAddr) == e.home &&
+                node->write.test(gran_.wordBit(debugWatchAddr)))
+                tracef(eq_.curTick(), "vts", "TOGGLE tx=%llu sel=%d",
+                       (unsigned long long)node->tx,
+                       (int)e.selection.test(
+                           gran_.wordBit(debugWatchAddr)));
+            // No cached copy can hold a stale committed value here:
+            // any copy either predates the writer's exclusive grab
+            // (invalidated then), carries the writer's mark with the
+            // speculative value (foreign-spec fills and cache-to-cache
+            // sharing), or was filled after this node's cleanup (the
+            // block-granularity stall) — so flipping the selection
+            // bits publishes without touching the caches.
+        }
+    } else {
+        ++abortWalkNodes;
+        if (!select_) {
+            node->write.forEachSet([&](unsigned i) {
+                Addr home_u = gran_.unitAddr(e.home, i);
+                Addr shadow_u = gran_.unitAddr(e.shadow, i);
+                if (gran_.perWord())
+                    phys_.copyWord32(home_u, shadow_u);
+                else
+                    phys_.copyBlock(home_u, shadow_u);
+                ++abortRestoreUnits;
+            });
+        }
+        // Select-PTM abort: nothing to do — the selection bits still
+        // point at the committed units.
+    }
+
+    // Unlink from the horizontal list and drop the cached copy.
+    TavNode **link = &e.tavHead;
+    while (*link && *link != node)
+        link = &(*link)->nextOnPage;
+    panic_if(!*link, "TAV node missing from its page list");
+    *link = node->nextOnPage;
+    tavCache.remove(tavKey(node->home, node->tx));
+
+    refreshPage(e);
+    maybeFreeShadow(e);
+    bool evd = false;
+    sptCache.access(node->home, true, evd);
+    delete node;
+}
+
+bool
+Vts::swappable(PageNum home) const
+{
+    const SptEntry *e = findEntry(home);
+    return !e || e->tavHead == nullptr;
+}
+
+void
+Vts::pageSwapOut(PageNum home, std::uint64_t slot)
+{
+    auto it = spt_.find(home);
+    if (it == spt_.end())
+        return;
+    SptEntry e = std::move(it->second);
+    spt_.erase(it);
+    sptCache.remove(home);
+    panic_if(e.tavHead,
+             "OS swapped out a page with live TAV state");
+
+    if (e.hasShadow()) {
+        if (select_ &&
+            params_.shadowFree == ShadowFreePolicy::MergeOnSwap) {
+            // Merge the committed shadow units back into the home
+            // frame before the OS copies it to the backing store; the
+            // SIT entry then records no shadow (section 3.5.2).
+            e.selection.forEachSet([&](unsigned i) {
+                if (gran_.perWord())
+                    phys_.copyWord32(gran_.unitAddr(home, i),
+                                     gran_.unitAddr(e.shadow, i));
+                else
+                    phys_.copyBlock(gran_.unitAddr(home, i),
+                                    gran_.unitAddr(e.shadow, i));
+            });
+            e.selection.reset();
+            freeShadow(e);
+        } else {
+            // Both pages swap out together: stash the shadow bytes.
+            std::vector<std::uint8_t> bytes(pageBytes);
+            for (unsigned b = 0; b < blocksPerPage; ++b)
+                phys_.readBlock(pageBase(e.shadow) + b * blockBytes,
+                                bytes.data() + b * blockBytes);
+            swapped_shadow_data_[slot] = std::move(bytes);
+            freeShadow(e);
+        }
+    }
+    e.home = invalidPage;
+    sit_[slot] = std::move(e);
+}
+
+void
+Vts::pageSwapIn(std::uint64_t slot, PageNum new_home)
+{
+    auto it = sit_.find(slot);
+    if (it == sit_.end())
+        return;
+    SptEntry e = std::move(it->second);
+    sit_.erase(it);
+    e.home = new_home;
+
+    auto sh = swapped_shadow_data_.find(slot);
+    if (sh != swapped_shadow_data_.end()) {
+        e.shadow = frames_.alloc();
+        ++shadow_pages_;
+        ++shadowAllocs;
+        for (unsigned b = 0; b < blocksPerPage; ++b)
+            phys_.writeBlock(pageBase(e.shadow) + b * blockBytes,
+                             sh->second.data() + b * blockBytes);
+        swapped_shadow_data_.erase(sh);
+    }
+    spt_[new_home] = std::move(e);
+}
+
+} // namespace ptm

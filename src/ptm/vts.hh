@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The Virtual Transaction Supervisor (VTS) — PTM's memory-controller
+ * engine (section 4 of the paper).
+ *
+ * The VTS owns the memory-resident PTM structures (Shadow Page Table,
+ * Swap Index Table, TAV lists) and two hardware caches over them:
+ *
+ *  - the SPT cache (512 fully-associative entries): shadow pointer,
+ *    selection vector and read/write summary vectors per page;
+ *  - the TAV cache (2048 fully-associative entries, tagged by
+ *    (page, transaction)): per-transaction access vectors.
+ *
+ * It implements both versioning policies:
+ *
+ *  - Copy-PTM: the speculative block always goes to the home page; the
+ *    committed block is copied to the shadow page on the first dirty
+ *    overflow. Commit frees TAVs only; abort restores home blocks from
+ *    the shadow page.
+ *  - Select-PTM: a per-page selection vector says which of home/shadow
+ *    holds the committed unit. Evicted speculative data goes to the
+ *    non-committed location; commit toggles selection bits; abort does
+ *    no data movement at all.
+ *
+ * Commit/abort processing is lazy: the T-State flip happens instantly
+ * (TxManager), then a supervisor walk frees one TAV node per memory
+ * access; accesses touching not-yet-cleaned pages stall (section 4.5).
+ */
+
+#ifndef PTM_PTM_VTS_HH
+#define PTM_PTM_VTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/frame_alloc.hh"
+#include "mem/phys_mem.hh"
+#include "mem/timing.hh"
+#include "ptm/granularity.hh"
+#include "ptm/tav.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "tx/tm_backend.hh"
+#include "tx/tx_manager.hh"
+
+namespace ptm
+{
+
+/**
+ * Timing model of a fully-associative, LRU, write-back metadata cache
+ * in the memory controller (the SPT cache and the TAV cache). The
+ * simulator keeps the *functional* PTM structures always current; these
+ * caches only decide whether a lookup pays cache latency or a memory
+ * walk.
+ */
+class VtsMetaCache
+{
+  public:
+    explicit VtsMetaCache(unsigned entries) : capacity_(entries) {}
+
+    /**
+     * Look up @p key; inserts it on a miss (possibly evicting LRU).
+     * @param mark_dirty the entry is being updated in place
+     * @param[out] evicted_dirty an LRU victim needed a write-back
+     * @return true on hit
+     */
+    bool access(std::uint64_t key, bool mark_dirty, bool &evicted_dirty);
+
+    /** Drop @p key (structure freed). */
+    void remove(std::uint64_t key);
+
+    Counter hits;
+    Counter misses;
+    Counter dirtyEvictions;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t lastUse = 0;
+        bool dirty = false;
+    };
+
+    unsigned capacity_;
+    std::uint64_t clock_ = 0;
+    std::unordered_map<std::uint64_t, Entry> map_;
+};
+
+/** The PTM backend. */
+class Vts : public TmBackend
+{
+  public:
+    /**
+     * @param params    system configuration (selects Copy vs Select
+     *                  via params.tmKind and the vector granularity)
+     * @param eq        global event queue (background walks)
+     * @param phys      functional physical memory
+     * @param txmgr     transaction manager (arbitration, T-State)
+     * @param frames    physical frame allocator (shadow pages)
+     * @param dram      memory controller timing (walks share bandwidth
+     *                  with demand traffic)
+     */
+    Vts(const SystemParams &params, EventQueue &eq, PhysMem &phys,
+        TxManager &txmgr, FrameAllocator &frames, DramModel &dram);
+
+    ~Vts() override;
+
+    /** @name TmBackend interface */
+    /// @{
+    bool anyOverflow() const override { return overflowed_live_ > 0; }
+    CheckResult checkAccess(const BlockAccess &acc) override;
+    Tick fillBlock(Addr block_addr, TxId requester, std::uint8_t *dst,
+                   std::uint16_t &spec_words,
+                   std::vector<TxMark> &foreign) override;
+    bool mayGrantExclusive(Addr block_addr, TxId requester) override;
+    Tick evictTxBlock(Addr block_addr, TxId tx, bool dirty_spec,
+                      const std::uint8_t *data, std::uint16_t read_words,
+                      std::uint16_t write_words) override;
+    Tick writebackBlock(Addr block_addr, const std::uint8_t *data,
+                        std::uint16_t word_mask) override;
+    std::uint32_t readCommittedWord32(Addr word_addr) override;
+    void commitTx(TxId tx) override;
+    void abortTx(TxId tx) override;
+    void pageSwapOut(PageNum home, std::uint64_t slot) override;
+    void pageSwapIn(std::uint64_t slot, PageNum new_home) override;
+    /// @}
+
+    /** True if Select-PTM (vs Copy-PTM). */
+    bool isSelect() const { return select_; }
+
+
+    /** Whether the OS may pick @p home as a swap victim (we keep the
+     *  model simple by not swapping pages with live TAV state). */
+    bool swappable(PageNum home) const override;
+
+    /** The SPT entry of @p home, nullptr if none (tests/inspection). */
+    const SptEntry *sptEntry(PageNum home) const;
+
+    /** Number of shadow pages currently allocated. */
+    std::uint64_t liveShadowPages() const { return shadow_pages_; }
+
+    /** Time-weighted "pages with live speculative overflow" gauge for
+     *  Table 1's "ideal" column. Call finishStats() at end of sim. */
+    const TimeWeighted &liveDirtyPagesStat() const { return live_dirty_; }
+    void finishStats(Tick now) { live_dirty_.finish(now); }
+
+    /** @name Statistics */
+    /// @{
+    Counter shadowAllocs;
+    Counter shadowFrees;
+    Counter tavNodesCreated;
+    Counter commitWalkNodes;
+    Counter abortWalkNodes;
+    Counter abortRestoreUnits; //!< Copy-PTM block restores on abort
+    Counter copyBackups;       //!< Copy-PTM home->shadow backups
+    Counter stallsSignalled;
+    Counter lazyMigrations;    //!< Select-PTM lazy shadow merges
+    VtsMetaCache sptCache;
+    VtsMetaCache tavCache;
+    /// @}
+
+  private:
+    struct CleanupJob
+    {
+        bool isCommit = false;
+        std::vector<TavNode *> nodes;
+        std::size_t next = 0;
+    };
+
+    /** Get-or-create the SPT entry of @p home. */
+    SptEntry &entryFor(PageNum home);
+    SptEntry *findEntry(PageNum home);
+    const SptEntry *findEntry(PageNum home) const;
+
+    /** Charge an SPT-cache lookup (hit latency or memory walk). */
+    Tick sptLookupCost(PageNum home);
+    /** Charge a TAV-cache lookup for (page, tx). */
+    Tick tavLookupCost(PageNum home, TxId tx, bool mark_dirty);
+
+    /** Allocate the shadow page of @p e if not present. */
+    void ensureShadow(SptEntry &e);
+    /** Free @p e's shadow page. */
+    void freeShadow(SptEntry &e);
+    /** Free the shadow if the policy allows it right now. */
+    void maybeFreeShadow(SptEntry &e);
+
+    /**
+     * Selection bit of unit @p i with the pending toggles of
+     * Committing transactions' lazy walks applied (see the commit-walk
+     * race note in committedUnitAddr's implementation).
+     */
+    bool effSelection(const SptEntry &e, unsigned i) const;
+
+    /** Physical address of the *committed* unit covering bit @p i. */
+    Addr committedUnitAddr(const SptEntry &e, unsigned i) const;
+    /** Physical address of the *speculative* unit covering bit @p i. */
+    Addr specUnitAddr(const SptEntry &e, unsigned i) const;
+
+    /** Recompute a page's summary vectors and live-dirty gauge. */
+    void refreshPage(SptEntry &e);
+
+    /** Mark @p tx as having overflowed (global flag bookkeeping). */
+    void noteOverflow(TxId tx);
+
+    /** Background walk machinery. */
+    void startCleanup(TxId tx, bool is_commit);
+    void cleanupStep(TxId tx);
+    void processNode(CleanupJob &job, TavNode *node);
+
+    /** Composite key for the TAV cache. */
+    static std::uint64_t
+    tavKey(PageNum home, TxId tx)
+    {
+        return (home << 22) ^ tx;
+    }
+
+    const SystemParams params_;
+    EventQueue &eq_;
+    PhysMem &phys_;
+    TxManager &txmgr_;
+    FrameAllocator &frames_;
+    DramModel &dram_;
+    PageGran gran_;
+    bool select_;
+
+    std::unordered_map<PageNum, SptEntry> spt_;
+    /** Swap Index Table: entries of swapped-out pages, by swap slot. */
+    std::unordered_map<std::uint64_t, SptEntry> sit_;
+    /** Shadow page bytes of swapped-out pages, by swap slot. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        swapped_shadow_data_;
+
+    /** Vertical TAV list heads (T-State links). */
+    std::unordered_map<TxId, TavNode *> tx_head_;
+    std::unordered_map<TxId, CleanupJob> jobs_;
+
+    unsigned overflowed_live_ = 0;
+    std::uint64_t shadow_pages_ = 0;
+    Tick supervisor_free_ = 0;
+    std::uint64_t live_dirty_count_ = 0;
+    TimeWeighted live_dirty_;
+};
+
+} // namespace ptm
+
+#endif // PTM_PTM_VTS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Name tables for configuration enums.
+ */
+
+#include "sim/config.hh"
+
+namespace ptm
+{
+
+const char *
+tmKindName(TmKind k)
+{
+    switch (k) {
+      case TmKind::Serial:
+        return "serial";
+      case TmKind::Locks:
+        return "locks";
+      case TmKind::CopyPtm:
+        return "Copy-PTM";
+      case TmKind::SelectPtm:
+        return "Sel-PTM";
+      case TmKind::Vtm:
+        return "VTM";
+      case TmKind::VcVtm:
+        return "VC-VTM";
+    }
+    return "?";
+}
+
+const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::Block:
+        return "blk-only";
+      case Granularity::WordCache:
+        return "wd:cache";
+      case Granularity::WordCacheMem:
+        return "wd:cache+mem";
+    }
+    return "?";
+}
+
+} // namespace ptm

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Central configuration for a simulated system.
+ *
+ * Defaults reproduce the machine evaluated in the PTM paper (section
+ * 6.1): a 4-node CMP with private 16 KB direct-mapped L1 (1 cycle) and
+ * 256 KB 4-way L2 (6 cycles), a snoopy MOESI bus with a 20-cycle minimum
+ * round trip, 200-cycle main memory with 3 pipelined requests, a
+ * 512-entry fully-associative TLB over 4 KB pages, a 512-entry SPT cache
+ * and a 2048-entry TAV cache in the memory controller.
+ */
+
+#ifndef PTM_SIM_CONFIG_HH
+#define PTM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** Which unbounded-TM / synchronization system the machine runs. */
+enum class TmKind
+{
+    /** No concurrency: single-threaded run (speedup baseline). */
+    Serial,
+    /** Lock-based multithreading through the coherence protocol. */
+    Locks,
+    /** PTM with copy-on-first-overflow versioning (fast commit). */
+    CopyPtm,
+    /** PTM with selection vectors (fast commit and abort). */
+    SelectPtm,
+    /** The VTM baseline (XF + XADT + XADC). */
+    Vtm,
+    /** VTM with a victim cache buffering evicted block data. */
+    VcVtm,
+};
+
+/** Conflict-detection granularity (Figure 5 of the paper). */
+enum class Granularity
+{
+    /** Default: detect conflicts per 64-byte cache block. */
+    Block,
+    /**
+     * "wd:cache": word-granularity detection inside the caches, but the
+     * overflowed PTM structures still track one writer per block, so an
+     * eviction of a multi-writer block aborts the younger writers.
+     */
+    WordCache,
+    /**
+     * "wd:cache+mem": word granularity end to end; TAV / summary /
+     * selection vectors all hold one bit per 4-byte word.
+     */
+    WordCacheMem,
+};
+
+/** How Select-PTM shadow pages are reclaimed (section 3.5.2). */
+enum class ShadowFreePolicy
+{
+    /** Merge shadow into home when the OS swaps the home page out. */
+    MergeOnSwap,
+    /**
+     * Lazily migrate committed blocks back to the home page on
+     * non-speculative writebacks; free the shadow page once the
+     * selection vector is fully clear.
+     */
+    LazyMigrate,
+};
+
+/** Returns a short human-readable label ("Sel-PTM", "VC-VTM", ...). */
+const char *tmKindName(TmKind k);
+
+/** Returns the Figure 5 label for a granularity mode. */
+const char *granularityName(Granularity g);
+
+/** All tunables of one simulated system instance. */
+struct SystemParams
+{
+    /** Number of CPU cores (paper: 4 nodes). */
+    unsigned numCores = 4;
+
+    /** @name L1 cache (16 KB direct-mapped, 1-cycle latency) */
+    /// @{
+    std::uint64_t l1Bytes = 16 * 1024;
+    unsigned l1Assoc = 1;
+    Tick l1Latency = 1;
+    /// @}
+
+    /** @name L2 cache (256 KB 4-way, 6-cycle latency) */
+    /// @{
+    std::uint64_t l2Bytes = 256 * 1024;
+    unsigned l2Assoc = 4;
+    Tick l2Latency = 6;
+    /// @}
+
+    /** Minimum round-trip latency of the on-chip snoopy bus. */
+    Tick busLatency = 20;
+
+    /** Main-memory access latency (minimum). */
+    Tick dramLatency = 200;
+    /** Number of memory requests that can be pipelined. */
+    unsigned dramPipeline = 3;
+    /** Bank occupancy of a posted write (bandwidth, not latency). */
+    Tick dramWriteOccupancy = 60;
+
+    /** TLB entries (fully associative). */
+    unsigned tlbEntries = 512;
+    /** Latency of a hardware page-table walk on TLB miss. */
+    Tick tlbWalkLatency = 40;
+    /** Extra latency of the software exception path on a page fault. */
+    Tick pageFaultLatency = 400;
+
+    /** Physical memory size in 4 KB frames (64 MB default). */
+    std::uint64_t physFrames = 16 * 1024;
+    /** Whether the OS may swap pages to the swap device. */
+    bool swapEnabled = false;
+    /** Latency of swapping one page in or out. */
+    Tick swapLatency = 4000;
+
+    /** Scheduler time slice; 0 disables preemptive switches. */
+    Tick osQuantum = 500 * 1000;
+    /** Context-switch overhead charged to the core. */
+    Tick contextSwitchLatency = 600;
+    /** Mean interval between spontaneous OS daemon preemptions; 0 off. */
+    Tick daemonInterval = 2 * 1000 * 1000;
+    /** Length of a daemon preemption. */
+    Tick daemonRunLength = 5000;
+
+    /** @name PTM Virtual Transaction Supervisor */
+    /// @{
+    unsigned sptCacheEntries = 512;
+    unsigned tavCacheEntries = 2048;
+    /** Cycles for an SPT/TAV cache hit lookup. */
+    Tick vtsCacheLatency = 2;
+    ShadowFreePolicy shadowFree = ShadowFreePolicy::MergeOnSwap;
+    /// @}
+
+    /** @name VTM baseline */
+    /// @{
+    /** XF counting Bloom filter entries (paper: 1.6 million). */
+    std::uint64_t xfEntries = 1600 * 1000;
+    /**
+     * XADC metadata-cache entries; paper sets the capacity equal to the
+     * combined SPT + TAV cache capacity.
+     */
+    unsigned xadcEntries = 512 + 2048;
+    /** Victim-cache entries for VC-VTM data buffering. */
+    unsigned victimCacheEntries = 512 + 2048;
+    /// @}
+
+    /** Which TM/synchronization system to build. */
+    TmKind tmKind = TmKind::SelectPtm;
+    /** Conflict-detection granularity. */
+    Granularity granularity = Granularity::Block;
+    /**
+     * Extra bus occupancy per coherence transaction in word-granularity
+     * cache modes (the paper notes wd modes add coherence traffic).
+     */
+    Tick wordCoherenceOverhead = 2;
+
+    /** Cycles to take/restore a register checkpoint. */
+    Tick checkpointLatency = 4;
+    /** Cycles for the logical commit (T-State flip + flash clear). */
+    Tick commitLatency = 12;
+    /** Fixed OS cost of a barrier arrival. */
+    Tick barrierLatency = 20;
+    /** Restart delay after an abort before re-executing. */
+    Tick abortRestartLatency = 40;
+
+    /**
+     * Ablation: flush (overflow) a departing thread's transactional
+     * cache lines on every context switch, as VTM requires, instead of
+     * PTM's transaction-ID-tagged lines that stay put (section 4.7).
+     */
+    bool flushOnContextSwitch = false;
+
+    /** Master RNG seed. */
+    std::uint64_t seed = 1;
+
+    /** Hard cap on simulated ticks (0 = unlimited). */
+    Tick maxTicks = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_SIM_CONFIG_HH

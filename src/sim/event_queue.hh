@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The whole simulator is driven by one EventQueue. Components schedule
+ * callbacks at future ticks; the queue executes them in (tick, priority,
+ * insertion order) order, which makes the simulation fully deterministic.
+ */
+
+#ifndef PTM_SIM_EVENT_QUEUE_HH
+#define PTM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/**
+ * Relative ordering of events scheduled for the same tick. Lower values
+ * execute first.
+ */
+enum class EventPriority : int
+{
+    /** Coherence/bus/memory completions. */
+    Memory = 0,
+    /** Supervisor (VTS/VTM) background work. */
+    Supervisor = 1,
+    /** CPU core execution steps. */
+    Cpu = 2,
+    /** OS scheduler decisions (timer interrupts, context switches). */
+    Os = 3,
+    /** Miscellaneous bookkeeping; always last in a tick. */
+    Stats = 4,
+};
+
+/**
+ * The global event queue. Callbacks are std::functions; cancellation is
+ * handled by EventHandle tombstones so scheduling stays O(log n).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Opaque handle to a scheduled event, usable to cancel it. */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** True if the handle refers to a still-pending event. */
+        bool
+        pending() const
+        {
+            return alive_ && *alive_;
+        }
+
+        /** Cancel the event if still pending. */
+        void
+        cancel()
+        {
+            if (alive_)
+                *alive_ = false;
+        }
+
+      private:
+        friend class EventQueue;
+        explicit Handle(std::shared_ptr<bool> alive)
+            : alive_(std::move(alive))
+        {}
+        std::shared_ptr<bool> alive_;
+    };
+
+    /** Current simulated time. */
+    Tick
+    curTick() const
+    {
+        return cur_tick_;
+    }
+
+    /**
+     * Schedule @p fn to run at absolute tick @p when.
+     * @return a handle that can cancel the event.
+     */
+    Handle
+    schedule(Tick when, EventPriority prio, std::function<void()> fn)
+    {
+        panic_if(when < cur_tick_,
+                 "scheduling event in the past (%llu < %llu)",
+                 (unsigned long long)when,
+                 (unsigned long long)cur_tick_);
+        auto alive = std::make_shared<bool>(true);
+        heap_.push(Entry{when, int(prio), seq_++, alive,
+                         std::move(fn)});
+        return Handle(alive);
+    }
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    Handle
+    scheduleIn(Tick delta, EventPriority prio, std::function<void()> fn)
+    {
+        return schedule(cur_tick_ + delta, prio, std::move(fn));
+    }
+
+    /** True if no live events remain. */
+    bool
+    empty()
+    {
+        skipDead();
+        return heap_.empty();
+    }
+
+    /**
+     * Execute events until the queue drains or @p limit ticks elapse.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(Tick limit = maxTick)
+    {
+        while (!empty()) {
+            const Entry &top = heap_.top();
+            if (top.when > limit) {
+                cur_tick_ = limit;
+                return false;
+            }
+            Entry e = top;
+            heap_.pop();
+            cur_tick_ = e.when;
+            if (*e.alive) {
+                *e.alive = false;
+                e.fn();
+            }
+        }
+        return true;
+    }
+
+    /** Total number of events executed (for stats/testing). */
+    std::uint64_t
+    executedEvents() const
+    {
+        return seq_;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        std::shared_ptr<bool> alive;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    skipDead()
+    {
+        while (!heap_.empty() && !*heap_.top().alive)
+            heap_.pop();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick cur_tick_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace ptm
+{
+
+unsigned long long debugWatchAddr = ~0ull;
+
+namespace
+{
+
+bool trace_on = false;
+
+std::string
+vstrprintf(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(size_t(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        out.assign(buf.data(), size_t(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+bool
+traceEnabled()
+{
+    return trace_on;
+}
+
+void
+setTraceEnabled(bool on)
+{
+    trace_on = on;
+}
+
+void
+tracef(unsigned long long tick, const char *who, const char *fmt, ...)
+{
+    if (!trace_on)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%12llu: %s: %s\n", tick, who, msg.c_str());
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    return msg;
+}
+
+} // namespace ptm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, following the gem5
+ * panic/fatal/warn/inform conventions:
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug in
+ *              this code base). Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, impossible parameters). Exits.
+ *  - warn():   something works but is suspicious; execution continues.
+ *  - inform(): purely informational status output.
+ */
+
+#ifndef PTM_SIM_LOGGING_HH
+#define PTM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ptm
+{
+
+/** Internal invariant violation: print and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Whether debug tracing (tracef) is enabled globally. */
+bool traceEnabled();
+
+/** Globally enable or disable debug tracing. */
+void setTraceEnabled(bool on);
+
+/**
+ * Debug trace line, printed only when tracing is enabled. Each line is
+ * prefixed with the current simulated tick supplied by the caller.
+ */
+void tracef(unsigned long long tick, const char *who, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Debug: watch one simulated physical word address (tracing aid). */
+extern unsigned long long debugWatchAddr;
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ptm
+
+#define panic(...) ::ptm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::ptm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** gem5-style assertion that panics with a message on failure. */
+#define panic_if(cond, ...)                                              \
+    do {                                                                 \
+        if (cond)                                                        \
+            panic(__VA_ARGS__);                                          \
+    } while (0)
+
+#define fatal_if(cond, ...)                                              \
+    do {                                                                 \
+        if (cond)                                                        \
+            fatal(__VA_ARGS__);                                          \
+    } while (0)
+
+#endif // PTM_SIM_LOGGING_HH

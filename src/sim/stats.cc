@@ -1,0 +1,27 @@
+/**
+ * @file
+ * StatGroup implementation.
+ */
+
+#include "sim/stats.hh"
+
+namespace ptm
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[n, c] : counters_)
+        os << name_ << "." << n << " " << c->value() << "\n";
+    for (const auto &[n, a] : averages_)
+        os << name_ << "." << n << " " << a->mean() << "\n";
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+} // namespace ptm

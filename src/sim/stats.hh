@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named counters with a StatGroup; the harness can
+ * enumerate, print, and diff them. Only the statistic kinds the PTM
+ * evaluation needs are provided: scalar counters, averages, and
+ * fixed-bucket distributions.
+ */
+
+#ifndef PTM_SIM_STATS_HH
+#define PTM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptm
+{
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+
+    double mean() const { return n_ ? sum_ / double(n_) : 0.0; }
+    std::uint64_t samples() const { return n_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0; n_ = 0; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * A time-weighted average of a piecewise-constant quantity, used e.g.
+ * for the "average live shadow pages at any instant" metric of Table 1.
+ * Call set() whenever the quantity changes, finish() at end of sim.
+ */
+class TimeWeighted
+{
+  public:
+    /** Record that the quantity becomes @p value at time @p now. */
+    void
+    set(std::uint64_t now, double value)
+    {
+        accumulate(now);
+        value_ = value;
+    }
+
+    /** Close the measurement interval at time @p now. */
+    void
+    finish(std::uint64_t now)
+    {
+        accumulate(now);
+    }
+
+    /** Time-weighted mean over [first set, finish]. */
+    double
+    mean() const
+    {
+        return elapsed_ ? weighted_ / double(elapsed_) : value_;
+    }
+
+  private:
+    void
+    accumulate(std::uint64_t now)
+    {
+        if (started_ && now > last_) {
+            weighted_ += value_ * double(now - last_);
+            elapsed_ += now - last_;
+        }
+        last_ = now;
+        started_ = true;
+    }
+
+    double value_ = 0;
+    double weighted_ = 0;
+    std::uint64_t elapsed_ = 0;
+    std::uint64_t last_ = 0;
+    bool started_ = false;
+};
+
+/**
+ * A registry of named statistics owned by one component. Values are
+ * stored as name -> pointer so components keep natural member counters
+ * while still being enumerable for reports.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name. */
+    void
+    addCounter(const std::string &stat_name, const Counter *c)
+    {
+        counters_[stat_name] = c;
+    }
+
+    void
+    addAverage(const std::string &stat_name, const Average *a)
+    {
+        averages_[stat_name] = a;
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Dump all registered statistics as "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a registered counter's value; 0 if absent. */
+    std::uint64_t counterValue(const std::string &stat_name) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Average *> averages_;
+};
+
+} // namespace ptm
+
+#endif // PTM_SIM_STATS_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fundamental scalar types and address arithmetic helpers shared by every
+ * module of the PTM simulator.
+ *
+ * The simulated machine uses 64-bit physical and virtual addresses, 4 KB
+ * pages and 64-byte cache blocks, matching the configuration evaluated in
+ * the PTM paper (ASPLOS 2006, section 6.1).
+ */
+
+#ifndef PTM_SIM_TYPES_HH
+#define PTM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ptm
+{
+
+/** Simulated time, in cycles of the core clock. */
+using Tick = std::uint64_t;
+
+/** A virtual or physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Virtual or physical page number (address >> pageShift). */
+using PageNum = std::uint64_t;
+
+/** Identifier of a CPU core (0-based). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a simulated software thread. */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a simulated process (address space). */
+using ProcId = std::uint32_t;
+
+/**
+ * Transaction identifier. Assigned sequentially at transaction begin, so
+ * a smaller id means an older transaction; the conflict arbiter uses this
+ * directly ("oldest transaction wins"). Id 0 is reserved for "no
+ * transaction".
+ */
+using TxId = std::uint64_t;
+
+/** The reserved "not a transaction" id. */
+constexpr TxId invalidTxId = 0;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel invalid address / page number. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+constexpr PageNum invalidPage = std::numeric_limits<PageNum>::max();
+
+/** log2 of the page size: 4 KB pages. */
+constexpr unsigned pageShift = 12;
+/** Page size in bytes. */
+constexpr Addr pageBytes = Addr(1) << pageShift;
+
+/** log2 of the cache block size: 64-byte blocks. */
+constexpr unsigned blockShift = 6;
+/** Cache block size in bytes. */
+constexpr Addr blockBytes = Addr(1) << blockShift;
+
+/** log2 of the machine word size: 4-byte words (Fig 5 word granularity). */
+constexpr unsigned wordShift = 2;
+/** Word size in bytes. */
+constexpr Addr wordBytes = Addr(1) << wordShift;
+
+/** Number of cache blocks per page (64). */
+constexpr unsigned blocksPerPage = unsigned(pageBytes / blockBytes);
+/** Number of words per page (1024). */
+constexpr unsigned wordsPerPage = unsigned(pageBytes / wordBytes);
+/** Number of words per cache block (16). */
+constexpr unsigned wordsPerBlock = unsigned(blockBytes / wordBytes);
+
+/** Extract the page number of an address. */
+constexpr PageNum
+pageOf(Addr a)
+{
+    return a >> pageShift;
+}
+
+/** Byte offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & (pageBytes - 1);
+}
+
+/** First byte address of a page. */
+constexpr Addr
+pageBase(PageNum p)
+{
+    return p << pageShift;
+}
+
+/** Align an address down to its cache block. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~(blockBytes - 1);
+}
+
+/** Index of the cache block of @p a within its page (0..63). */
+constexpr unsigned
+blockInPage(Addr a)
+{
+    return unsigned(pageOffset(a) >> blockShift);
+}
+
+/** Index of the word of @p a within its page (0..1023). */
+constexpr unsigned
+wordInPage(Addr a)
+{
+    return unsigned(pageOffset(a) >> wordShift);
+}
+
+/** Align an address down to its word. */
+constexpr Addr
+wordAlign(Addr a)
+{
+    return a & ~(wordBytes - 1);
+}
+
+} // namespace ptm
+
+#endif // PTM_SIM_TYPES_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Transaction descriptors — the architectural T-State table.
+ *
+ * The T-State table (Figure 1 of the paper) is indexed by transaction
+ * number and holds each transaction's status; the VTS atomically flips
+ * the status to Committing/Aborting before lazily processing the TAV
+ * list ("logical commit/abort"). Transactions keep their identifier
+ * across abort-and-restart, so a long-suffering transaction ages into
+ * the oldest and eventually wins every conflict (forward progress).
+ */
+
+#ifndef PTM_TX_TRANSACTION_HH
+#define PTM_TX_TRANSACTION_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** Lifecycle states of a transaction. */
+enum class TxState : std::uint8_t
+{
+    Invalid,
+    /** Executing (or context-switched out mid-execution). */
+    Running,
+    /** Logically committed; TAV/XADT cleanup still draining. */
+    Committing,
+    /** Logically aborted; cleanup (and Copy-PTM restore) draining. */
+    Aborting,
+    /** Fully committed, overflow state reclaimed. */
+    Committed,
+    /** Fully aborted; the thread may restart the transaction. */
+    Aborted,
+};
+
+/** Short state name for traces. */
+const char *txStateName(TxState s);
+
+/** One T-State entry. */
+struct Transaction
+{
+    TxId id = invalidTxId;
+    TxState state = TxState::Invalid;
+    ThreadId thread = 0;
+    ProcId proc = 0;
+
+    /** Flattened-nesting depth; begin/end inside a transaction only
+     *  adjusts this count (section 2.3.1). */
+    unsigned nestDepth = 0;
+
+    /** Ordered-transaction support (section 2.2). */
+    bool ordered = false;
+    /** Ordered scope this transaction belongs to. */
+    std::uint32_t scope = 0;
+    /** Program-defined commit rank within the scope. */
+    std::uint64_t rank = 0;
+
+    /**
+     * Arbitration age: the conflict arbiter aborts the transaction with
+     * the larger age ("the oldest transaction always wins"). For
+     * unordered transactions this is the sequential id; for ordered
+     * transactions it reflects the program-defined order.
+     */
+    std::uint64_t age = 0;
+
+    /** Number of times this transaction has aborted and restarted. */
+    unsigned attempts = 0;
+
+    /** Whether any block of this transaction overflowed the caches. */
+    bool overflowed = false;
+
+    Tick beginTick = 0;
+
+    /** True while the transaction can still win/lose conflicts. */
+    bool
+    live() const
+    {
+        return state == TxState::Running;
+    }
+
+    /** True while lazy cleanup of its overflow state is in flight. */
+    bool
+    cleaning() const
+    {
+        return state == TxState::Committing || state == TxState::Aborting;
+    }
+};
+
+} // namespace ptm
+
+#endif // PTM_TX_TRANSACTION_HH

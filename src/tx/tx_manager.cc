@@ -1,0 +1,274 @@
+/**
+ * @file
+ * TxManager implementation.
+ */
+
+#include "tx/tx_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace ptm
+{
+
+const char *
+txStateName(TxState s)
+{
+    switch (s) {
+      case TxState::Invalid:
+        return "Invalid";
+      case TxState::Running:
+        return "Running";
+      case TxState::Committing:
+        return "Committing";
+      case TxState::Aborting:
+        return "Aborting";
+      case TxState::Committed:
+        return "Committed";
+      case TxState::Aborted:
+        return "Aborted";
+    }
+    return "?";
+}
+
+TxId
+TxManager::begin(ThreadId thread, ProcId proc, Tick now, bool ordered,
+                 std::uint32_t scope, std::uint64_t rank)
+{
+    auto active = active_by_thread_.find(thread);
+    if (active != active_by_thread_.end()) {
+        // Nested transaction: flatten into the outermost one.
+        Transaction *outer = get(active->second);
+        panic_if(!outer || !outer->live(),
+                 "thread %u nesting into a non-live transaction",
+                 thread);
+        ++outer->nestDepth;
+        ++nestedBegins;
+        return outer->id;
+    }
+
+    TxId id = next_id_++;
+    Transaction tx;
+    tx.id = id;
+    tx.state = TxState::Running;
+    tx.thread = thread;
+    tx.proc = proc;
+    tx.nestDepth = 1;
+    tx.ordered = ordered;
+    tx.scope = scope;
+    tx.rank = rank;
+    tx.beginTick = now;
+    tx.attempts = 1;
+    if (ordered) {
+        panic_if(scope >= scopes_.size(), "unknown ordered scope %u",
+                 scope);
+        // Age reflects the program-defined order so that arbitration
+        // and commit order agree (no ordered-commit deadlock).
+        tx.age = (std::uint64_t(scope + 1) << 40) + rank;
+    } else {
+        tx.age = (next_age_++) << 40;
+    }
+    table_[id] = tx;
+    active_by_thread_[thread] = id;
+    ++live_count_;
+    return id;
+}
+
+void
+TxManager::restart(TxId id, Tick now)
+{
+    Transaction *tx = get(id);
+    panic_if(!tx, "restarting unknown transaction %llu",
+             (unsigned long long)id);
+    panic_if(tx->state != TxState::Aborted,
+             "restarting transaction %llu in state %s",
+             (unsigned long long)id, txStateName(tx->state));
+    tx->state = TxState::Running;
+    tx->nestDepth = 1;
+    tx->overflowed = false;
+    tx->beginTick = now;
+    ++tx->attempts;
+    active_by_thread_[tx->thread] = id;
+    ++live_count_;
+}
+
+CommitResult
+TxManager::requestCommit(TxId id)
+{
+    Transaction *tx = get(id);
+    panic_if(!tx || tx->state != TxState::Running,
+             "commit request for non-running transaction %llu",
+             (unsigned long long)id);
+
+    if (tx->nestDepth > 1) {
+        --tx->nestDepth;
+        return CommitResult::Done;
+    }
+
+    if (tx->ordered) {
+        OrderedScope &sc = scopes_[tx->scope];
+        if (sc.nextRank != tx->rank) {
+            sc.waiters[tx->rank] = id;
+            ++orderedWaits;
+            return CommitResult::WaitOrdered;
+        }
+    }
+
+    doLogicalCommit(*tx);
+    return CommitResult::Done;
+}
+
+void
+TxManager::doLogicalCommit(Transaction &tx)
+{
+    tx.state = TxState::Committing;
+    tx.nestDepth = 0;
+    active_by_thread_.erase(tx.thread);
+    --live_count_;
+    ++commits;
+
+    if (onLogicalCommit)
+        onLogicalCommit(tx.id);
+
+    if (tx.ordered) {
+        // The logical commit is the serialization point: hand the
+        // commit token to the successor.
+        OrderedScope &sc = scopes_[tx.scope];
+        ++sc.nextRank;
+        auto w = sc.waiters.find(sc.nextRank);
+        if (w != sc.waiters.end()) {
+            TxId succ = w->second;
+            sc.waiters.erase(w);
+            Transaction *stx = get(succ);
+            if (stx && stx->live() && wakeOrderedCommit)
+                wakeOrderedCommit(succ, stx->thread);
+        }
+    }
+
+    // Backend cleanup may complete synchronously (no overflow) or
+    // schedule background work ending in cleanupDone().
+    if (backendCommit)
+        backendCommit(tx.id);
+    else
+        cleanupDone(tx.id);
+}
+
+void
+TxManager::abort(TxId id, AbortReason why)
+{
+    Transaction *tx = get(id);
+    panic_if(!tx, "aborting unknown transaction %llu",
+             (unsigned long long)id);
+    if (tx->state != TxState::Running)
+        return; // already committing/aborting; nothing to do
+
+    tx->state = TxState::Aborting;
+    tx->nestDepth = 0;
+    active_by_thread_.erase(tx->thread);
+    --live_count_;
+    ++aborts;
+    if (why == AbortReason::NonTxConflict)
+        ++abortsNonTx;
+    else if (why == AbortReason::MultiWriterEviction)
+        ++abortsMultiWriter;
+
+    if (tx->ordered) {
+        OrderedScope &sc = scopes_[tx->scope];
+        auto w = sc.waiters.find(tx->rank);
+        if (w != sc.waiters.end() && w->second == id)
+            sc.waiters.erase(w);
+    }
+
+    if (onLogicalAbort)
+        onLogicalAbort(id);
+    if (notifyAborted)
+        notifyAborted(id, tx->thread, why);
+    if (backendAbort)
+        backendAbort(id);
+    else
+        cleanupDone(id);
+}
+
+void
+TxManager::cleanupDone(TxId id)
+{
+    Transaction *tx = get(id);
+    panic_if(!tx, "cleanupDone for unknown transaction %llu",
+             (unsigned long long)id);
+    if (tx->state == TxState::Committing) {
+        tx->state = TxState::Committed;
+    } else if (tx->state == TxState::Aborting) {
+        tx->state = TxState::Aborted;
+        if (notifyAbortComplete)
+            notifyAbortComplete(id, tx->thread);
+    } else {
+        panic("cleanupDone for transaction %llu in state %s",
+              (unsigned long long)id, txStateName(tx->state));
+    }
+}
+
+bool
+TxManager::resolveConflicts(TxId requester,
+                            const std::vector<TxId> &conflicting)
+{
+    // Non-transactional accesses always win (section 2.3.3).
+    if (requester == invalidTxId) {
+        for (TxId c : conflicting)
+            if (isLive(c))
+                abort(c, AbortReason::NonTxConflict);
+        return true;
+    }
+
+    const Transaction *req = get(requester);
+    panic_if(!req || !req->live(),
+             "conflict resolution for non-live requester %llu",
+             (unsigned long long)requester);
+
+    std::uint64_t min_age = req->age;
+    for (TxId c : conflicting) {
+        const Transaction *tx = get(c);
+        if (tx && tx->live() && tx->age < min_age)
+            min_age = tx->age;
+    }
+
+    if (min_age == req->age) {
+        // Requester is the oldest: abort every live contender.
+        for (TxId c : conflicting) {
+            if (c != requester && isLive(c))
+                abort(c, AbortReason::ConflictLost);
+        }
+        return true;
+    }
+
+    abort(requester, AbortReason::ConflictLost);
+    return false;
+}
+
+std::uint32_t
+TxManager::createOrderedScope()
+{
+    scopes_.emplace_back();
+    return std::uint32_t(scopes_.size() - 1);
+}
+
+Transaction *
+TxManager::get(TxId id)
+{
+    auto it = table_.find(id);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+const Transaction *
+TxManager::get(TxId id) const
+{
+    auto it = table_.find(id);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+TxState
+TxManager::stateOf(TxId id) const
+{
+    const Transaction *tx = get(id);
+    return tx ? tx->state : TxState::Invalid;
+}
+
+} // namespace ptm

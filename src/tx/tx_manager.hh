@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Global transaction manager.
+ *
+ * Owns the T-State table, assigns sequential transaction identifiers,
+ * flattens nesting, arbitrates conflicts (oldest wins), and sequences
+ * ordered-transaction commits. The memory system and the unbounded-TM
+ * backends attach hooks so that a logical commit/abort fans out to
+ * cache flash-clears and background TAV/XADT cleanup without circular
+ * dependencies.
+ */
+
+#ifndef PTM_TX_TX_MANAGER_HH
+#define PTM_TX_TX_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "tx/transaction.hh"
+
+namespace ptm
+{
+
+/** Why a transaction was aborted (statistics / traces). */
+enum class AbortReason
+{
+    /** Lost eager arbitration to an older transaction. */
+    ConflictLost,
+    /** Conflicted with a non-transactional access (always aborts). */
+    NonTxConflict,
+    /**
+     * wd:cache mode: a block written at word granularity by several
+     * transactions was evicted, but the overflow structures track only
+     * one writer per block (section 6.3).
+     */
+    MultiWriterEviction,
+    /** Explicit abort from the workload (failure injection in tests). */
+    Explicit,
+};
+
+/** Result of a commit request. */
+enum class CommitResult
+{
+    /** Logically committed; execution may continue. */
+    Done,
+    /** Ordered transaction must wait for its predecessor. */
+    WaitOrdered,
+};
+
+/**
+ * The transaction manager. One instance per simulated system.
+ */
+class TxManager
+{
+  public:
+    TxManager() = default;
+
+    /** @name Hooks (wired by System construction) */
+    /// @{
+    /** Invoked at logical commit: flash-clear tx bits in caches etc. */
+    std::function<void(TxId)> onLogicalCommit;
+    /** Invoked at logical abort: invalidate speculative lines etc. */
+    std::function<void(TxId)> onLogicalAbort;
+    /** Backend cleanup kick-off (TAV walk / XADT drain) at commit. */
+    std::function<void(TxId)> backendCommit;
+    /** Backend cleanup kick-off at abort. */
+    std::function<void(TxId)> backendAbort;
+    /** Notify the owning thread that its transaction aborted. */
+    std::function<void(TxId, ThreadId, AbortReason)> notifyAborted;
+    /**
+     * Notify the owning thread that abort cleanup finished and the
+     * transaction may be restarted (Copy-PTM restores must complete
+     * before re-execution can observe home-page data).
+     */
+    std::function<void(TxId, ThreadId)> notifyAbortComplete;
+    /** Wake an ordered transaction whose turn to commit arrived. */
+    std::function<void(TxId, ThreadId)> wakeOrderedCommit;
+    /// @}
+
+    /**
+     * Enter a transaction on @p thread. If the thread already runs a
+     * transaction, nesting is flattened: the depth is bumped and the
+     * existing id returned.
+     *
+     * @param ordered whether this is an ordered transaction
+     * @param scope   ordered scope identifier
+     * @param rank    program-defined commit rank within the scope
+     * @return the (new or enclosing) transaction id
+     */
+    TxId begin(ThreadId thread, ProcId proc, Tick now,
+               bool ordered = false, std::uint32_t scope = 0,
+               std::uint64_t rank = 0);
+
+    /**
+     * Restart an aborted transaction: same id, same age, next attempt.
+     * Only legal once the previous attempt reached TxState::Aborted.
+     */
+    void restart(TxId id, Tick now);
+
+    /**
+     * Leave the innermost transactional scope of @p id. If nesting
+     * remains, just decrements the depth and reports Done. For the
+     * outermost end of an ordered transaction whose turn has not come,
+     * reports WaitOrdered (the core blocks; wakeOrderedCommit fires
+     * later). Otherwise performs the logical commit.
+     */
+    CommitResult requestCommit(TxId id);
+
+    /**
+     * Logically abort @p id (arbitration loss, non-transactional
+     * conflict, or explicit). Idempotent while cleanup is pending.
+     */
+    void abort(TxId id, AbortReason why);
+
+    /**
+     * Backend finished draining overflow state of @p id; transitions
+     * Committing->Committed / Aborting->Aborted and, for ordered
+     * commits, hands the commit token to the successor.
+     */
+    void cleanupDone(TxId id);
+
+    /**
+     * Arbitrate a conflict between the requesting access and the set of
+     * conflicting live transactions. The oldest contender wins; all
+     * younger transactions in @p conflicting are aborted. A
+     * non-transactional requester (@p requester == invalidTxId) always
+     * wins (section 2.3.3).
+     *
+     * @return true if the requester survives (won or tied), false if
+     *         the requester itself was aborted.
+     */
+    bool resolveConflicts(TxId requester,
+                          const std::vector<TxId> &conflicting);
+
+    /** Create an ordered scope; commits inside it occur in rank order. */
+    std::uint32_t createOrderedScope();
+
+    /** Access a T-State entry (nullptr if unknown). */
+    Transaction *get(TxId id);
+    const Transaction *get(TxId id) const;
+
+    /** Current state of @p id, Invalid if unknown. */
+    TxState stateOf(TxId id) const;
+
+    /** True if @p id is live (Running). */
+    bool
+    isLive(TxId id) const
+    {
+        return stateOf(id) == TxState::Running;
+    }
+
+    /** Number of transactions currently live. */
+    unsigned liveCount() const { return live_count_; }
+
+    /** @name Statistics */
+    /// @{
+    Counter commits;
+    Counter aborts;
+    Counter abortsNonTx;
+    Counter abortsMultiWriter;
+    Counter nestedBegins;
+    Counter orderedWaits;
+    /// @}
+
+  private:
+    struct OrderedScope
+    {
+        std::uint64_t nextRank = 0;
+        /** rank -> (txid) transactions blocked at tx_end. */
+        std::unordered_map<std::uint64_t, TxId> waiters;
+    };
+
+    void doLogicalCommit(Transaction &tx);
+
+    std::unordered_map<TxId, Transaction> table_;
+    std::unordered_map<ThreadId, TxId> active_by_thread_;
+    std::vector<OrderedScope> scopes_;
+    TxId next_id_ = 1;
+    std::uint64_t next_age_ = 1;
+    unsigned live_count_ = 0;
+};
+
+} // namespace ptm
+
+#endif // PTM_TX_TX_MANAGER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload registry.
+ */
+
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace ptm
+{
+
+std::unique_ptr<Workload> makeFft(const WorkloadConfig &cfg);
+std::unique_ptr<Workload> makeLu(const WorkloadConfig &cfg);
+std::unique_ptr<Workload> makeRadix(const WorkloadConfig &cfg);
+std::unique_ptr<Workload> makeOcean(const WorkloadConfig &cfg);
+std::unique_ptr<Workload> makeWater(const WorkloadConfig &cfg);
+
+SyncMode
+syncModeFor(TmKind kind)
+{
+    switch (kind) {
+      case TmKind::Serial:
+        return SyncMode::Serial;
+      case TmKind::Locks:
+        return SyncMode::Locks;
+      default:
+        return SyncMode::Tx;
+    }
+}
+
+std::unique_ptr<Workload>
+makeWorkload(std::string_view name, const WorkloadConfig &cfg)
+{
+    if (name == "fft")
+        return makeFft(cfg);
+    if (name == "lu")
+        return makeLu(cfg);
+    if (name == "radix")
+        return makeRadix(cfg);
+    if (name == "ocean")
+        return makeOcean(cfg);
+    if (name == "water")
+        return makeWater(cfg);
+    fatal("unknown workload '%.*s'", int(name.size()), name.data());
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names{"fft", "lu", "radix",
+                                                "ocean", "water"};
+    return names;
+}
+
+} // namespace ptm

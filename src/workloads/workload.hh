@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Workload kernels for the evaluation — C++ re-creations of the five
+ * SPLASH-2 loop-region benchmarks of the paper (fft, lu, radix, ocean,
+ * water), each buildable in three synchronization modes:
+ *
+ *  - Serial: one thread, no synchronization (the speedup baseline);
+ *  - Locks:  the original-style pthread synchronization (barriers and
+ *            spinlocks through the coherence protocol);
+ *  - Tx:     loop bodies wrapped in transactions, ordered transactions
+ *            where the loop may carry dependencies (section 2.2).
+ *
+ * All kernels compute on wrapping 32-bit integers so every mode has a
+ * bit-exact expected result; verify() recomputes it on the host and
+ * compares the simulated memory. Footprints are scaled-down versions
+ * of the paper's (Table 1) preserving the relative ordering:
+ * ocean >> lu >= fft > radix > water, with water cache-resident.
+ */
+
+#ifndef PTM_WORKLOADS_WORKLOAD_HH
+#define PTM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/system.hh"
+
+namespace ptm
+{
+
+/** How a workload synchronizes. */
+enum class SyncMode
+{
+    Serial,
+    Locks,
+    Tx,
+};
+
+/** Mode implied by a system kind (locks for Locks, tx for TM kinds). */
+SyncMode syncModeFor(TmKind kind);
+
+/** Workload construction parameters. */
+struct WorkloadConfig
+{
+    unsigned threads = 4;
+    SyncMode mode = SyncMode::Tx;
+    std::uint64_t seed = 1;
+    /**
+     * Footprint scale: 1 = default (benchmark) size, 0 selects the
+     * tiny test size.
+     */
+    int scale = 1;
+};
+
+/** Base class of the five kernels. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &cfg) : cfg_(cfg)
+    {
+        if (cfg_.mode == SyncMode::Serial)
+            cfg_.threads = 1;
+    }
+
+    virtual ~Workload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Create processes/threads/barriers in @p sys. Call once. */
+    virtual void build(System &sys) = 0;
+
+    /** Compare the simulated result with the host reference. */
+    virtual bool verify(System &sys) const = 0;
+
+    const WorkloadConfig &config() const { return cfg_; }
+
+  protected:
+    /** Wrap a loop body per the synchronization mode. */
+    Step
+    work(CoroFactory f) const
+    {
+        if (cfg_.mode == SyncMode::Tx) {
+            TxStep s;
+            s.body = std::move(f);
+            return s;
+        }
+        PlainStep s;
+        s.body = std::move(f);
+        return s;
+    }
+
+    /** Wrap an order-sensitive loop body (ordered tx in Tx mode). */
+    Step
+    orderedWork(std::uint32_t scope, std::uint64_t rank,
+                CoroFactory f) const
+    {
+        if (cfg_.mode == SyncMode::Tx) {
+            TxStep s;
+            s.body = std::move(f);
+            s.ordered = true;
+            s.scope = scope;
+            s.rank = rank;
+            return s;
+        }
+        PlainStep s;
+        s.body = std::move(f);
+        return s;
+    }
+
+    WorkloadConfig cfg_;
+};
+
+/** Deterministic value hash used for workload initialization. */
+inline std::uint32_t
+mixHash(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 32;
+    return std::uint32_t(x);
+}
+
+/**
+ * Instantiate a kernel by name ("fft", "lu", "radix", "ocean",
+ * "water"); fatal on unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(std::string_view name,
+                                       const WorkloadConfig &cfg);
+
+/** The five kernel names in the paper's Table 1 order. */
+const std::vector<std::string> &workloadNames();
+
+} // namespace ptm
+
+#endif // PTM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Helpers for building tiny workloads in tests.
+ */
+
+#ifndef PTM_TESTS_SIM_TEST_UTIL_HH
+#define PTM_TESTS_SIM_TEST_UTIL_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "harness/system.hh"
+
+namespace ptm::test
+{
+
+/** Make an unordered transactional step from a coroutine factory. */
+inline Step
+tx(CoroFactory body)
+{
+    TxStep s;
+    s.body = std::move(body);
+    return s;
+}
+
+/** Make an ordered transactional step. */
+inline Step
+orderedTx(std::uint32_t scope, std::uint64_t rank, CoroFactory body)
+{
+    TxStep s;
+    s.body = std::move(body);
+    s.ordered = true;
+    s.scope = scope;
+    s.rank = rank;
+    return s;
+}
+
+/** Make a plain (non-transactional) step. */
+inline Step
+plain(CoroFactory body)
+{
+    PlainStep s;
+    s.body = std::move(body);
+    return s;
+}
+
+/** Make a barrier step. */
+inline Step
+barrier(unsigned id)
+{
+    return BarrierStep{id};
+}
+
+/** Params preset: small caches so overflows happen quickly. */
+inline SystemParams
+tinyCacheParams(TmKind kind)
+{
+    SystemParams p;
+    p.tmKind = kind;
+    p.l1Bytes = 512;      // 8 lines
+    p.l2Bytes = 2048;     // 32 lines
+    p.l2Assoc = 2;
+    p.daemonInterval = 0; // deterministic tests by default
+    p.osQuantum = 0;
+    p.maxTicks = 200 * 1000 * 1000;
+    return p;
+}
+
+/** Params preset: paper defaults, no OS noise. */
+inline SystemParams
+quietParams(TmKind kind)
+{
+    SystemParams p;
+    p.tmKind = kind;
+    p.daemonInterval = 0;
+    p.osQuantum = 0;
+    p.maxTicks = 500 * 1000 * 1000;
+    return p;
+}
+
+} // namespace ptm::test
+
+#endif // PTM_TESTS_SIM_TEST_UTIL_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * cancellation, bit vectors, RNG determinism, timing resources, and
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/timing.hh"
+#include "sim/bitvec.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, EventPriority::Cpu, [&] { order.push_back(3); });
+    eq.schedule(10, EventPriority::Cpu, [&] { order.push_back(1); });
+    eq.schedule(20, EventPriority::Cpu, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, EventPriority::Cpu, [&] { order.push_back(2); });
+    eq.schedule(5, EventPriority::Memory, [&] { order.push_back(1); });
+    eq.schedule(5, EventPriority::Cpu, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelledEventDoesNotRun)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto h = eq.schedule(10, EventPriority::Cpu, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(7, EventPriority::Cpu, chain);
+    };
+    eq.schedule(0, EventPriority::Cpu, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.curTick(), 28u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(100, EventPriority::Cpu, [&] { late = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(late);
+}
+
+TEST(BitVec, SetTestClearToggle)
+{
+    BitVec v(100);
+    EXPECT_TRUE(v.none());
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_EQ(v.count(), 4u);
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    v.clear(63);
+    EXPECT_FALSE(v.test(63));
+    v.toggle(64);
+    EXPECT_FALSE(v.test(64));
+    v.toggle(64);
+    EXPECT_TRUE(v.test(64));
+    EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, BulkOps)
+{
+    BitVec a(128), b(128);
+    a.set(1);
+    a.set(100);
+    b.set(100);
+    b.set(2);
+    EXPECT_TRUE(a.intersects(b));
+    BitVec c = a;
+    c |= b;
+    EXPECT_EQ(c.count(), 3u);
+    c.andNot(b);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_TRUE(c.test(1));
+    b.clear(100);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(BitVec, ForEachSetVisitsExactlySetBits)
+{
+    BitVec v(70);
+    v.set(3);
+    v.set(64);
+    v.set(69);
+    std::vector<unsigned> seen;
+    v.forEachSet([&](unsigned i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<unsigned>{3, 64, 69}));
+}
+
+TEST(Pcg32, DeterministicAcrossInstances)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BelowStaysInRange)
+{
+    Pcg32 r(123);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint32_t v = r.below(17);
+        ASSERT_LT(v, 17u);
+    }
+}
+
+TEST(BusModel, FifoQueueing)
+{
+    BusModel bus(20);
+    EXPECT_EQ(bus.reserve(0), 0u);
+    EXPECT_EQ(bus.reserve(0), 20u);  // queued behind the first
+    EXPECT_EQ(bus.reserve(100), 100u);
+    EXPECT_EQ(bus.reserve(105), 120u);
+    EXPECT_EQ(bus.transactions(), 4u);
+}
+
+TEST(DramModel, PipelinesUpToThreeRequests)
+{
+    DramModel dram(200, 3);
+    // Three requests at t=0 complete together at 200.
+    EXPECT_EQ(dram.access(0), 200u);
+    EXPECT_EQ(dram.access(0), 200u);
+    EXPECT_EQ(dram.access(0), 200u);
+    // The fourth waits for a slot.
+    EXPECT_EQ(dram.access(0), 400u);
+}
+
+TEST(DramModel, BurstUsesPipeline)
+{
+    DramModel dram(200, 3);
+    // 6 accesses: 2 rounds of 3 -> 400 cycles total.
+    EXPECT_EQ(dram.accessBurst(0, 6), 400u);
+}
+
+TEST(TimeWeighted, ComputesTimeAverage)
+{
+    TimeWeighted tw;
+    tw.set(0, 2.0);
+    tw.set(10, 4.0);   // 2.0 held for 10
+    tw.finish(30);     // 4.0 held for 20
+    EXPECT_DOUBLE_EQ(tw.mean(), (2.0 * 10 + 4.0 * 20) / 30.0);
+}
+
+TEST(Stats, GroupDumpAndLookup)
+{
+    Counter c;
+    c += 5;
+    StatGroup g("mem");
+    g.addCounter("misses", &c);
+    EXPECT_EQ(g.counterValue("misses"), 5u);
+    EXPECT_EQ(g.counterValue("absent"), 0u);
+}
+
+} // namespace
+} // namespace ptm

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * ptm_sim — command-line front end for the simulator.
+ *
+ * Runs one workload kernel on one system configuration and prints the
+ * statistics, e.g.:
+ *
+ *     ptm_sim --workload ocean --system sel-ptm --threads 4
+ *     ptm_sim --workload radix --system sel-ptm --gran wd:cache+mem
+ *     ptm_sim --workload fft --system vtm --seed 7 --scale 0
+ *     ptm_sim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace
+{
+
+using namespace ptm;
+
+void
+usage()
+{
+    std::printf(
+        "usage: ptm_sim [options]\n"
+        "  --workload NAME   fft | lu | radix | ocean | water\n"
+        "  --system KIND     serial | locks | copy-ptm | sel-ptm |\n"
+        "                    vtm | vc-vtm            (default sel-ptm)\n"
+        "  --gran MODE       blk | wd:cache | wd:cache+mem\n"
+        "  --threads N       worker threads          (default 4)\n"
+        "  --cores N         CPU cores               (default 4)\n"
+        "  --scale N         0 = tiny test size, 1 = benchmark size\n"
+        "  --seed N          workload RNG seed       (default 1)\n"
+        "  --quantum N       OS time slice in cycles (0 = off)\n"
+        "  --daemon N        daemon preemption interval (0 = off)\n"
+        "  --swap            enable OS swapping\n"
+        "  --frames N        physical memory frames\n"
+        "  --lazy-migrate    Select-PTM lazy shadow freeing\n"
+        "  --flush-ctxsw     flush tx cache lines on context switch\n"
+        "  --list            list workloads and exit\n");
+}
+
+bool
+parseKind(const std::string &s, TmKind &out)
+{
+    if (s == "serial")
+        out = TmKind::Serial;
+    else if (s == "locks")
+        out = TmKind::Locks;
+    else if (s == "copy-ptm")
+        out = TmKind::CopyPtm;
+    else if (s == "sel-ptm")
+        out = TmKind::SelectPtm;
+    else if (s == "vtm")
+        out = TmKind::Vtm;
+    else if (s == "vc-vtm")
+        out = TmKind::VcVtm;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseGran(const std::string &s, Granularity &out)
+{
+    if (s == "blk")
+        out = Granularity::Block;
+    else if (s == "wd:cache")
+        out = Granularity::WordCache;
+    else if (s == "wd:cache+mem")
+        out = Granularity::WordCacheMem;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ptm;
+
+    std::string workload = "fft";
+    SystemParams prm;
+    prm.tmKind = TmKind::SelectPtm;
+    unsigned threads = 4;
+    int scale = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--workload") {
+            workload = next();
+        } else if (a == "--system") {
+            if (!parseKind(next(), prm.tmKind)) {
+                usage();
+                return 1;
+            }
+        } else if (a == "--gran") {
+            if (!parseGran(next(), prm.granularity)) {
+                usage();
+                return 1;
+            }
+        } else if (a == "--threads") {
+            threads = unsigned(std::stoul(next()));
+        } else if (a == "--cores") {
+            prm.numCores = unsigned(std::stoul(next()));
+        } else if (a == "--scale") {
+            scale = std::stoi(next());
+        } else if (a == "--seed") {
+            prm.seed = std::stoull(next());
+        } else if (a == "--quantum") {
+            prm.osQuantum = std::stoull(next());
+        } else if (a == "--daemon") {
+            prm.daemonInterval = std::stoull(next());
+        } else if (a == "--swap") {
+            prm.swapEnabled = true;
+        } else if (a == "--frames") {
+            prm.physFrames = std::stoull(next());
+        } else if (a == "--lazy-migrate") {
+            prm.shadowFree = ShadowFreePolicy::LazyMigrate;
+        } else if (a == "--flush-ctxsw") {
+            prm.flushOnContextSwitch = true;
+        } else if (a == "--list") {
+            for (const auto &w : workloadNames())
+                std::printf("%s\n", w.c_str());
+            return 0;
+        } else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 1;
+        }
+    }
+
+    ExperimentResult r = runWorkload(workload, prm, scale, threads);
+    const RunStats &s = r.stats;
+
+    std::printf("workload          %s (scale %d, %u threads, seed "
+                "%llu)\n",
+                workload.c_str(), scale, threads,
+                (unsigned long long)prm.seed);
+    std::printf("system            %s", tmKindName(prm.tmKind));
+    if (prm.tmKind == TmKind::SelectPtm || prm.tmKind == TmKind::CopyPtm)
+        std::printf(" / %s", granularityName(prm.granularity));
+    std::printf("\n");
+    std::printf("cycles            %llu\n", (unsigned long long)r.cycles);
+    std::printf("verified          %s\n", r.verified ? "yes" : "NO");
+    std::printf("memOps            %llu\n", (unsigned long long)s.memOps);
+    std::printf("commits/aborts    %llu / %llu\n",
+                (unsigned long long)s.commits,
+                (unsigned long long)s.aborts);
+    std::printf("conflicts/stalls  %llu / %llu\n",
+                (unsigned long long)s.conflicts,
+                (unsigned long long)s.stalls);
+    std::printf("L2 evictions      %llu (tx: %llu)\n",
+                (unsigned long long)s.evictions,
+                (unsigned long long)s.txEvictions);
+    std::printf("bus transactions  %llu\n",
+                (unsigned long long)s.busTransactions);
+    std::printf("dram accesses     %llu\n",
+                (unsigned long long)s.dramAccesses);
+    std::printf("exceptions        %llu\n",
+                (unsigned long long)s.exceptions);
+    std::printf("context switches  %llu\n",
+                (unsigned long long)s.contextSwitches);
+    std::printf("pages / pg-x-wr   %llu / %llu\n",
+                (unsigned long long)s.uniquePages,
+                (unsigned long long)s.txWrittenPages);
+    if (s.swapOuts || s.swapIns)
+        std::printf("swap out/in       %llu / %llu\n",
+                    (unsigned long long)s.swapOuts,
+                    (unsigned long long)s.swapIns);
+    if (prm.tmKind == TmKind::SelectPtm ||
+        prm.tmKind == TmKind::CopyPtm) {
+        std::printf("shadow pages      %llu allocated, %llu freed, "
+                    "%llu live\n",
+                    (unsigned long long)s.shadowAllocs,
+                    (unsigned long long)s.shadowFrees,
+                    (unsigned long long)s.liveShadowPages);
+        std::printf("SPT cache         %llu hits / %llu misses\n",
+                    (unsigned long long)s.sptCacheHits,
+                    (unsigned long long)s.sptCacheMisses);
+        std::printf("TAV cache         %llu hits / %llu misses\n",
+                    (unsigned long long)s.tavCacheHits,
+                    (unsigned long long)s.tavCacheMisses);
+    }
+    if (prm.tmKind == TmKind::Vtm || prm.tmKind == TmKind::VcVtm) {
+        std::printf("XADT inserts      %llu\n",
+                    (unsigned long long)s.xadtEntries);
+        std::printf("commit copybacks  %llu\n",
+                    (unsigned long long)s.xadtCopybacks);
+        std::printf("XF filtered       %llu\n",
+                    (unsigned long long)s.xfFiltered);
+    }
+    return r.verified ? 0 : 1;
+}
