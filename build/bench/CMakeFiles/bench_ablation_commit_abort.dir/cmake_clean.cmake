@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_commit_abort.dir/bench_ablation_commit_abort.cc.o"
+  "CMakeFiles/bench_ablation_commit_abort.dir/bench_ablation_commit_abort.cc.o.d"
+  "bench_ablation_commit_abort"
+  "bench_ablation_commit_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_commit_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctxsw.dir/bench_ablation_ctxsw.cc.o"
+  "CMakeFiles/bench_ablation_ctxsw.dir/bench_ablation_ctxsw.cc.o.d"
+  "bench_ablation_ctxsw"
+  "bench_ablation_ctxsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctxsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

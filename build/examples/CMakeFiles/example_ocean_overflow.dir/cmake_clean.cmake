@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ocean_overflow.dir/ocean_overflow.cpp.o"
+  "CMakeFiles/example_ocean_overflow.dir/ocean_overflow.cpp.o.d"
+  "example_ocean_overflow"
+  "example_ocean_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ocean_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ordered_speculation.dir/ordered_speculation.cpp.o"
+  "CMakeFiles/example_ordered_speculation.dir/ordered_speculation.cpp.o.d"
+  "example_ordered_speculation"
+  "example_ordered_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ordered_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shared_memory_ipc.dir/shared_memory_ipc.cpp.o"
+  "CMakeFiles/example_shared_memory_ipc.dir/shared_memory_ipc.cpp.o.d"
+  "example_shared_memory_ipc"
+  "example_shared_memory_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shared_memory_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/ptm.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/ptm.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/ptm.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/ptm.dir/cpu/core.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/ptm.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/ptm.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/ptm.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/ptm.dir/harness/system.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/ptm.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/ptm.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/ptm/vts.cc" "src/CMakeFiles/ptm.dir/ptm/vts.cc.o" "gcc" "src/CMakeFiles/ptm.dir/ptm/vts.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/ptm.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/ptm.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/ptm.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/ptm.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/ptm.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/ptm.dir/sim/stats.cc.o.d"
+  "/root/repo/src/tx/tx_manager.cc" "src/CMakeFiles/ptm.dir/tx/tx_manager.cc.o" "gcc" "src/CMakeFiles/ptm.dir/tx/tx_manager.cc.o.d"
+  "/root/repo/src/vm/os_kernel.cc" "src/CMakeFiles/ptm.dir/vm/os_kernel.cc.o" "gcc" "src/CMakeFiles/ptm.dir/vm/os_kernel.cc.o.d"
+  "/root/repo/src/vtm/vtm.cc" "src/CMakeFiles/ptm.dir/vtm/vtm.cc.o" "gcc" "src/CMakeFiles/ptm.dir/vtm/vtm.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/ptm.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/ptm.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/lu.cc" "src/CMakeFiles/ptm.dir/workloads/lu.cc.o" "gcc" "src/CMakeFiles/ptm.dir/workloads/lu.cc.o.d"
+  "/root/repo/src/workloads/ocean.cc" "src/CMakeFiles/ptm.dir/workloads/ocean.cc.o" "gcc" "src/CMakeFiles/ptm.dir/workloads/ocean.cc.o.d"
+  "/root/repo/src/workloads/radix.cc" "src/CMakeFiles/ptm.dir/workloads/radix.cc.o" "gcc" "src/CMakeFiles/ptm.dir/workloads/radix.cc.o.d"
+  "/root/repo/src/workloads/water.cc" "src/CMakeFiles/ptm.dir/workloads/water.cc.o" "gcc" "src/CMakeFiles/ptm.dir/workloads/water.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/ptm.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/ptm.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

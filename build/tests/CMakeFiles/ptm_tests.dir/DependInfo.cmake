@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_tlb.cc" "tests/CMakeFiles/ptm_tests.dir/test_cache_tlb.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_cache_tlb.cc.o.d"
+  "/root/repo/tests/test_coro_locks.cc" "tests/CMakeFiles/ptm_tests.dir/test_coro_locks.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_coro_locks.cc.o.d"
+  "/root/repo/tests/test_misc_units.cc" "tests/CMakeFiles/ptm_tests.dir/test_misc_units.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_misc_units.cc.o.d"
+  "/root/repo/tests/test_moesi.cc" "tests/CMakeFiles/ptm_tests.dir/test_moesi.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_moesi.cc.o.d"
+  "/root/repo/tests/test_ptm_structures.cc" "tests/CMakeFiles/ptm_tests.dir/test_ptm_structures.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_ptm_structures.cc.o.d"
+  "/root/repo/tests/test_random_tester.cc" "tests/CMakeFiles/ptm_tests.dir/test_random_tester.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_random_tester.cc.o.d"
+  "/root/repo/tests/test_sim_kernel.cc" "tests/CMakeFiles/ptm_tests.dir/test_sim_kernel.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_sim_kernel.cc.o.d"
+  "/root/repo/tests/test_tm_integration.cc" "tests/CMakeFiles/ptm_tests.dir/test_tm_integration.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_tm_integration.cc.o.d"
+  "/root/repo/tests/test_tx_manager.cc" "tests/CMakeFiles/ptm_tests.dir/test_tx_manager.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_tx_manager.cc.o.d"
+  "/root/repo/tests/test_vm_paging.cc" "tests/CMakeFiles/ptm_tests.dir/test_vm_paging.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_vm_paging.cc.o.d"
+  "/root/repo/tests/test_vtm.cc" "tests/CMakeFiles/ptm_tests.dir/test_vtm.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_vtm.cc.o.d"
+  "/root/repo/tests/test_word_granularity.cc" "tests/CMakeFiles/ptm_tests.dir/test_word_granularity.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_word_granularity.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ptm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ptm_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_tests.dir/test_cache_tlb.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_cache_tlb.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_coro_locks.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_coro_locks.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_misc_units.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_misc_units.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_moesi.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_moesi.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_ptm_structures.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_ptm_structures.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_random_tester.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_random_tester.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_sim_kernel.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_sim_kernel.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_tm_integration.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_tm_integration.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_tx_manager.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_tx_manager.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_vm_paging.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_vm_paging.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_vtm.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_vtm.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_word_granularity.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_word_granularity.cc.o.d"
+  "CMakeFiles/ptm_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/ptm_tests.dir/test_workloads.cc.o.d"
+  "ptm_tests"
+  "ptm_tests.pdb"
+  "ptm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

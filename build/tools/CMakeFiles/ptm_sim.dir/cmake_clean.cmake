@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_sim.dir/ptm_sim.cc.o"
+  "CMakeFiles/ptm_sim.dir/ptm_sim.cc.o.d"
+  "ptm_sim"
+  "ptm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
