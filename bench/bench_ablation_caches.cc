@@ -10,14 +10,36 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ptm;
+
+    std::string json_path;
+    OptionTable opts("bench_ablation_caches",
+                     "Sweep the VTS SPT/TAV cache sizes.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
 
     struct Cfg
     {
@@ -31,9 +53,10 @@ main()
         {"4x size", 2048, 8192},
     };
 
-    std::printf("Ablation A: SPT/TAV cache size sweep (Select-PTM)\n\n");
+    std::fprintf(hout, "Ablation A: SPT/TAV cache size sweep (Select-PTM)\n\n");
     Report table({"config", "app", "cycles", "spt hit%", "tav hit%",
                   "verified"});
+    BenchRecorder rec("ablation_caches");
 
     for (const char *app : {"fft", "ocean"}) {
         for (const Cfg &c : cfgs) {
@@ -42,22 +65,38 @@ main()
             prm.sptCacheEntries = c.spt;
             prm.tavCacheEntries = c.tav;
             ExperimentResult r = runWorkload(app, prm, 1, 4);
-            const RunStats &s = r.stats;
-            double spt_total =
-                double(s.sptCacheHits + s.sptCacheMisses);
-            double tav_total =
-                double(s.tavCacheHits + s.tavCacheMisses);
-            table.row(
-                {c.label, app, cellU(s.cycles == 0 ? r.cycles : s.cycles),
-                 cell("%.1f%%", spt_total ? 100.0 * double(s.sptCacheHits) /
-                                                spt_total
-                                          : 0.0),
-                 cell("%.1f%%", tav_total ? 100.0 * double(s.tavCacheHits) /
-                                                tav_total
-                                          : 0.0),
-                 r.verified ? "yes" : "NO"});
+            const StatSnapshot &s = r.snapshot;
+            std::uint64_t spt_hits = s.counter("vts.spt_cache_hits");
+            std::uint64_t tav_hits = s.counter("vts.tav_cache_hits");
+            double spt_total = double(
+                spt_hits + s.counter("vts.spt_cache_misses"));
+            double tav_total = double(
+                tav_hits + s.counter("vts.tav_cache_misses"));
+            double spt_pct =
+                spt_total ? 100.0 * double(spt_hits) / spt_total : 0.0;
+            double tav_pct =
+                tav_total ? 100.0 * double(tav_hits) / tav_total : 0.0;
+            table.row({c.label, app, cellU(r.cycles),
+                       cell("%.1f%%", spt_pct),
+                       cell("%.1f%%", tav_pct),
+                       r.verified ? "yes" : "NO"});
+            rec.beginRow()
+                .field("config", c.label)
+                .field("app", app)
+                .field("spt_entries", c.spt)
+                .field("tav_entries", c.tav)
+                .field("cycles", std::uint64_t(r.cycles))
+                .field("spt_hit_pct", spt_pct)
+                .field("tav_hit_pct", tav_pct)
+                .field("verified", r.verified);
         }
     }
-    table.print();
+    table.print(hout);
+
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr, "bench_ablation_caches: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
     return 0;
 }

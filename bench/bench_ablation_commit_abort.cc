@@ -16,8 +16,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 #include "harness/system.hh"
 
 namespace
@@ -104,14 +107,14 @@ run(TmKind kind, unsigned abort_every)
     sys.addThread(proc, std::move(ssteps), "saboteur");
 
     sys.run();
-    RunStats s = sys.stats();
+    StatSnapshot s = sys.snapshot();
     Result res;
-    res.cycles = s.cycles;
-    res.aborts = s.aborts;
-    res.copyBackups = s.copyBackups;
-    res.abortRestores = s.abortRestoreUnits;
-    res.copybacks = s.xadtCopybacks;
-    res.stalls = s.stalls;
+    res.cycles = Tick(s.value("sys.cycles"));
+    res.aborts = s.counter("tx.aborts");
+    res.copyBackups = s.counter("vts.copy_backups");
+    res.abortRestores = s.counter("vts.abort_restore_units");
+    res.copybacks = s.counter("vtm.copybacks");
+    res.stalls = s.counter("mem.false_stalls");
     // Verify: the final committed value of every block belongs to the
     // last round (the worker re-runs sabotaged transactions).
     res.ok = true;
@@ -127,13 +130,34 @@ run(TmKind kind, unsigned abort_every)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation B: commit/abort cost of the versioning "
+    std::string json_path;
+    OptionTable opts("bench_ablation_commit_abort",
+                     "Commit vs abort cost of the versioning "
+                     "policies.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
+
+    std::fprintf(hout, "Ablation B: commit/abort cost of the versioning "
                 "policies (overflowing transactions)\n\n");
     Report table({"system", "abort rate", "cycles", "aborts",
                   "copy backups", "abort restores", "VTM copybacks",
                   "stalls", "verified"});
+    BenchRecorder rec("ablation_commit_abort");
 
     const TmKind kinds[] = {TmKind::SelectPtm, TmKind::CopyPtm,
                             TmKind::Vtm, TmKind::VcVtm};
@@ -147,10 +171,27 @@ main()
                        cellU(r.aborts), cellU(r.copyBackups),
                        cellU(r.abortRestores), cellU(r.copybacks),
                        cellU(r.stalls), r.ok ? "yes" : "NO"});
+            rec.beginRow()
+                .field("system", tmKindName(k))
+                .field("abort_rate", rate)
+                .field("cycles", std::uint64_t(r.cycles))
+                .field("aborts", r.aborts)
+                .field("copy_backups", r.copyBackups)
+                .field("abort_restores", r.abortRestores)
+                .field("vtm_copybacks", r.copybacks)
+                .field("stalls", r.stalls)
+                .field("verified", r.ok);
         }
     }
-    table.print();
-    std::printf("\n(Expected: Select-PTM cheap everywhere; Copy-PTM "
+    table.print(hout);
+
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr,
+                     "bench_ablation_commit_abort: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+    std::fprintf(hout, "\n(Expected: Select-PTM cheap everywhere; Copy-PTM "
                 "pays abort restores; VTM pays commit copybacks and "
                 "stalls; the victim cache hides part of them.)\n");
     return 0;

@@ -10,19 +10,43 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ptm;
 
-    std::printf("Ablation D: context switches — PTM tx-ID tags vs "
+    std::string json_path;
+    OptionTable opts("bench_ablation_ctxsw",
+                     "Context-switch handling: PTM tx-ID tags vs "
+                     "flush-on-switch.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
+
+    std::fprintf(hout, "Ablation D: context switches — PTM tx-ID tags vs "
                 "flush-on-switch (8 threads / 4 cores)\n\n");
     Report table({"app", "mode", "cycles", "ctx-switches",
-                  "tx evictions", "verified"});
+                  "tx evictions", "flush aborts", "verified"});
+    BenchRecorder rec("ablation_ctxsw");
 
     for (const char *app : {"lu", "water"}) {
         for (bool flush : {false, true}) {
@@ -32,15 +56,35 @@ main()
             prm.daemonInterval = 300 * 1000;
             prm.flushOnContextSwitch = flush;
             ExperimentResult r = runWorkload(app, prm, 1, 8);
-            table.row({app,
-                       flush ? "flush-on-switch" : "tx-ID tags (PTM)",
-                       cellU(r.cycles), cellU(r.stats.contextSwitches),
-                       cellU(r.stats.txEvictions),
-                       r.verified ? "yes" : "NO"});
+            const char *mode =
+                flush ? "flush-on-switch" : "tx-ID tags (PTM)";
+            auto row = rowFromStats(
+                {app, mode, cellU(r.cycles)}, r.snapshot,
+                {"os.context_switches", "mem.tx_evictions",
+                 "mem.ctxsw_flush_aborts"});
+            row.push_back(r.verified ? "yes" : "NO");
+            table.row(std::move(row));
+            rec.beginRow()
+                .field("app", app)
+                .field("mode", mode)
+                .field("cycles", std::uint64_t(r.cycles))
+                .field("context_switches",
+                       r.snapshot.counter("os.context_switches"))
+                .field("tx_evictions",
+                       r.snapshot.counter("mem.tx_evictions"))
+                .field("ctxsw_flush_aborts",
+                       r.snapshot.counter("mem.ctxsw_flush_aborts"))
+                .field("verified", r.verified);
         }
     }
-    table.print();
-    std::printf("\n(Flushing forces overflow handling on every switch "
+    table.print(hout);
+
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr, "bench_ablation_ctxsw: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+    std::fprintf(hout, "\n(Flushing forces overflow handling on every switch "
                 "inside a transaction; PTM's tagged lines avoid it.)\n");
     return 0;
 }

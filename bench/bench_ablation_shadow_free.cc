@@ -20,8 +20,11 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 #include "harness/system.hh"
 
 namespace
@@ -95,14 +98,14 @@ run(ShadowFreePolicy policy)
     sys.run();
 
     Result r;
-    RunStats s = sys.stats();
-    r.cycles = s.cycles;
-    r.shadowAllocs = s.shadowAllocs;
-    r.shadowFrees = s.shadowFrees;
-    r.liveShadows = s.liveShadowPages;
-    r.lazyMigrations = s.lazyMigrations;
-    r.swapIns = s.swapIns;
-    r.swapOuts = s.swapOuts;
+    StatSnapshot s = sys.snapshot();
+    r.cycles = Tick(s.value("sys.cycles"));
+    r.shadowAllocs = s.counter("vts.shadow_allocs");
+    r.shadowFrees = s.counter("vts.shadow_frees");
+    r.liveShadows = s.counter("vts.live_shadow_pages");
+    r.lazyMigrations = s.counter("vts.lazy_migrations");
+    r.swapIns = s.counter("os.swap_ins");
+    r.swapOuts = s.counter("os.swap_outs");
     for (unsigned pg = 0; pg < kPages && r.ok; ++pg)
         for (unsigned b = 0; b < blocksPerPage; b += 4)
             if (sys.readWord32(proc, base + Addr(pg) * pageBytes +
@@ -115,25 +118,64 @@ run(ShadowFreePolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation C: shadow-page freeing policies under "
+    std::string json_path;
+    OptionTable opts("bench_ablation_shadow_free",
+                     "Shadow-page freeing policies under memory "
+                     "pressure.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
+
+    std::fprintf(hout, "Ablation C: shadow-page freeing policies under "
                 "memory pressure (Select-PTM, swap on)\n\n");
     Report table({"policy", "cycles", "shadow allocs", "shadow frees",
                   "live shadows at end", "lazy migrations", "swap-outs",
                   "swap-ins", "verified"});
+    BenchRecorder rec("ablation_shadow_free");
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
         Result r = run(pol);
-        table.row({pol == ShadowFreePolicy::MergeOnSwap ? "merge-on-swap"
-                                                        : "lazy-migrate",
-                   cellU(r.cycles), cellU(r.shadowAllocs),
+        const char *label = pol == ShadowFreePolicy::MergeOnSwap
+                                ? "merge-on-swap"
+                                : "lazy-migrate";
+        table.row({label, cellU(r.cycles), cellU(r.shadowAllocs),
                    cellU(r.shadowFrees), cellU(r.liveShadows),
                    cellU(r.lazyMigrations), cellU(r.swapOuts),
                    cellU(r.swapIns), r.ok ? "yes" : "NO"});
+        rec.beginRow()
+            .field("policy", label)
+            .field("cycles", std::uint64_t(r.cycles))
+            .field("shadow_allocs", r.shadowAllocs)
+            .field("shadow_frees", r.shadowFrees)
+            .field("live_shadows", r.liveShadows)
+            .field("lazy_migrations", r.lazyMigrations)
+            .field("swap_outs", r.swapOuts)
+            .field("swap_ins", r.swapIns)
+            .field("verified", r.ok);
     }
-    table.print();
-    std::printf("\n(LazyMigrate reclaims shadows through ordinary "
+    table.print(hout);
+
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr,
+                     "bench_ablation_shadow_free: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+    std::fprintf(hout, "\n(LazyMigrate reclaims shadows through ordinary "
                 "write-backs; MergeOnSwap holds them until the OS "
                 "pages the home out and merges into the SIT image.)\n");
     return 0;

@@ -18,22 +18,46 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ptm;
+
+    std::string json_path;
+    OptionTable opts("bench_fig4",
+                     "Reproduce Figure 4: % speedup over "
+                     "single-threaded execution.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
 
     const TmKind kinds[] = {TmKind::Locks, TmKind::Vtm, TmKind::VcVtm,
                             TmKind::CopyPtm, TmKind::SelectPtm};
 
-    std::printf("Figure 4: %% speedup over single-threaded execution "
+    std::fprintf(hout, "Figure 4: %% speedup over single-threaded execution "
                 "(4 cores)\n\n");
     Report table({"app", "4p locks", "VTM", "VC-VTM", "Copy-PTM",
                   "Sel-PTM"});
+    BenchRecorder rec("fig4");
 
     double sums[5] = {};
     bool all_ok = true;
@@ -52,19 +76,39 @@ main()
             all_ok = all_ok && r.verified;
             cells.push_back(cell("%+.0f%%", pct) +
                             (r.verified ? "" : " !!WRONG"));
+            rec.beginRow()
+                .field("app", name)
+                .field("system", tmKindName(kinds[k]))
+                .field("serial_cycles", std::uint64_t(serial))
+                .field("cycles", std::uint64_t(r.cycles))
+                .field("speedup_pct", pct)
+                .field("commits", r.snapshot.counter("tx.commits"))
+                .field("aborts", r.snapshot.counter("tx.aborts"))
+                .field("verified", r.verified);
         }
         table.row(std::move(cells));
     }
     std::vector<std::string> avg{"Average"};
-    for (double s : sums)
-        avg.push_back(cell("%+.0f%%", s / 5.0));
+    for (unsigned k = 0; k < 5; ++k) {
+        avg.push_back(cell("%+.0f%%", sums[k] / 5.0));
+        rec.beginRow()
+            .field("app", "average")
+            .field("system", tmKindName(kinds[k]))
+            .field("speedup_pct", sums[k] / 5.0);
+    }
     table.row(std::move(avg));
-    table.print();
+    table.print(hout);
 
-    std::printf("\nPaper's averages: locks +134%%, VC-VTM +72%%, "
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr, "bench_fig4: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+
+    std::fprintf(hout, "\nPaper's averages: locks +134%%, VC-VTM +72%%, "
                 "Copy-PTM +116%%, Sel-PTM +220%%; base VTM ~0%% on "
                 "fft/ocean.\n");
-    std::printf("All results functionally verified: %s\n",
+    std::fprintf(hout, "All results functionally verified: %s\n",
                 all_ok ? "yes" : "NO");
     return all_ok ? 0 : 1;
 }

@@ -20,9 +20,12 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 #include "harness/system.hh"
 
 namespace
@@ -66,20 +69,41 @@ mwMicro(Granularity g)
         sys.addThread(proc, std::move(steps));
     }
     sys.run();
-    RunStats s = sys.stats();
-    return {s.cycles, s.aborts};
+    StatSnapshot s = sys.snapshot();
+    return {Tick(s.value("sys.cycles")), s.counter("tx.aborts")};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 5: conflict detection at word granularity "
+    std::string json_path;
+    OptionTable opts("bench_fig5",
+                     "Reproduce Figure 5: conflict detection at word "
+                     "granularity.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
+
+    std::fprintf(hout, "Figure 5: conflict detection at word granularity "
                 "(%% speedup over 1 thread)\n\n");
 
     Report table(
         {"app", "4p locks", "blk-only", "wd:cache", "wd:cache+mem"});
+    BenchRecorder rec("fig5");
 
     const Granularity grans[] = {Granularity::Block,
                                  Granularity::WordCache,
@@ -98,35 +122,60 @@ main()
 
         std::vector<std::string> cells{
             name, cell("%+.0f%%", speedupPct(serial, locks.cycles))};
+        rec.beginRow()
+            .field("app", name)
+            .field("mode", "locks")
+            .field("cycles", std::uint64_t(locks.cycles))
+            .field("speedup_pct", speedupPct(serial, locks.cycles))
+            .field("verified", locks.verified);
         for (Granularity g : grans) {
             SystemParams prm;
             prm.tmKind = TmKind::SelectPtm;
             prm.granularity = g;
             ExperimentResult r = runWorkload(name, prm, 1, 4);
             all_ok = all_ok && r.verified;
+            std::uint64_t aborts = r.snapshot.counter("tx.aborts");
             cells.push_back(cell("%+.0f%%",
                                  speedupPct(serial, r.cycles)) +
-                            " (a" + cellU(r.stats.aborts) + ")" +
+                            " (a" + cellU(aborts) + ")" +
                             (r.verified ? "" : " !!WRONG"));
+            rec.beginRow()
+                .field("app", name)
+                .field("mode", granularityName(g))
+                .field("cycles", std::uint64_t(r.cycles))
+                .field("speedup_pct", speedupPct(serial, r.cycles))
+                .field("aborts", aborts)
+                .field("verified", r.verified);
         }
         table.row(std::move(cells));
     }
-    table.print();
+    table.print(hout);
 
-    std::printf("\nmw-micro: disjoint-word writers of shared blocks "
+    std::fprintf(hout, "\nmw-micro: disjoint-word writers of shared blocks "
                 "with forced mid-transaction evictions\n\n");
     Report micro({"mode", "cycles", "aborts"});
     for (Granularity g : grans) {
         auto [cycles, aborts] = mwMicro(g);
         micro.row({granularityName(g), cellU(cycles), cellU(aborts)});
+        rec.beginRow()
+            .field("app", "mw-micro")
+            .field("mode", granularityName(g))
+            .field("cycles", std::uint64_t(cycles))
+            .field("aborts", aborts);
     }
-    micro.print();
-    std::printf("\n(blk-only: every co-writer conflicts; wd:cache: no "
+    micro.print(hout);
+
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr, "bench_fig5: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+    std::fprintf(hout, "\n(blk-only: every co-writer conflicts; wd:cache: no "
                 "access conflicts but multi-writer evictions abort; "
                 "wd:cache+mem: per-word vectors, no aborts.)\n");
-    std::printf("Paper: radix +116%% (blk) -> +170%% (wd:cache+mem); "
+    std::fprintf(hout, "Paper: radix +116%% (blk) -> +170%% (wd:cache+mem); "
                 "wd:cache alone gives only minor gains.\n");
-    std::printf("All results functionally verified: %s\n",
+    std::fprintf(hout, "All results functionally verified: %s\n",
                 all_ok ? "yes" : "NO");
     return all_ok ? 0 : 1;
 }

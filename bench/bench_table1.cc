@@ -19,9 +19,12 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/stats_io.hh"
 
 namespace
 {
@@ -45,36 +48,82 @@ constexpr PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ptm;
 
-    std::printf("Table 1: transactional execution behavior "
+    std::string json_path;
+    OptionTable opts("bench_table1",
+                     "Reproduce Table 1: transactional execution "
+                     "behavior of the SPLASH-2 loop regions.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // JSON on stdout moves the human tables to stderr so the JSON
+    // stream stays parseable.
+    std::FILE *hout = json_path == "-" ? stderr : stdout;
+
+    std::fprintf(hout, "Table 1: transactional execution behavior "
                 "(4p Select-PTM, OS noise on)\n\n");
 
     Report table({"app", "commit", "abort", "exception", "ctx-switch",
                   "pages", "pg-x-wr", "conservative", "ideal",
                   "mop/evict"});
+    BenchRecorder rec("table1");
 
     for (const auto &name : workloadNames()) {
         SystemParams prm;
         prm.tmKind = TmKind::SelectPtm;
         ExperimentResult r = runWorkload(name, prm, 1, 4);
-        const RunStats &s = r.stats;
-        double mop = s.evictions ? s.mopPerEvict()
-                                 : double(s.memOps); // no evictions
-        table.row({name, cellU(s.commits), cellU(s.aborts),
-                   cellU(s.exceptions), cellU(s.contextSwitches),
-                   cellU(s.uniquePages), cellU(s.txWrittenPages),
-                   cell("%.1f%%", s.conservativePct()),
-                   cell("%.1f%%", s.idealPct()),
+        const StatSnapshot &s = r.snapshot;
+        std::uint64_t evictions = s.counter("mem.evictions");
+        double mop = evictions
+                         ? s.value("sys.mop_per_evict")
+                         : s.value("sys.mem_ops"); // no evictions
+        table.row({name, cellU(s.counter("tx.commits")),
+                   cellU(s.counter("tx.aborts")),
+                   cellU(s.counter("os.exceptions")),
+                   cellU(s.counter("os.context_switches")),
+                   cellU(s.counter("os.pages")),
+                   cellU(s.counter("os.pg_x_wr")),
+                   cell("%.1f%%", s.value("sys.conservative_pct")),
+                   cell("%.1f%%", s.value("sys.ideal_pct")),
                    cell("%.1f", mop) +
-                       (s.evictions ? "" : " (no evictions)") +
+                       (evictions ? "" : " (no evictions)") +
                        (r.verified ? "" : "  !!WRONG RESULT")});
+        rec.beginRow()
+            .field("app", name)
+            .field("commits", s.counter("tx.commits"))
+            .field("aborts", s.counter("tx.aborts"))
+            .field("exceptions", s.counter("os.exceptions"))
+            .field("context_switches",
+                   s.counter("os.context_switches"))
+            .field("pages", s.counter("os.pages"))
+            .field("pg_x_wr", s.counter("os.pg_x_wr"))
+            .field("conservative_pct",
+                   s.value("sys.conservative_pct"))
+            .field("ideal_pct", s.value("sys.ideal_pct"))
+            .field("mop_per_evict", mop)
+            .field("verified", r.verified);
     }
-    table.print();
+    table.print(hout);
 
-    std::printf("\nPaper's Table 1 (for shape comparison):\n\n");
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr, "bench_table1: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+
+    std::fprintf(hout, "\nPaper's Table 1 (for shape comparison):\n\n");
     Report paper({"app", "commit", "abort", "exception", "ctx-switch",
                   "pages", "pg-x-wr", "conservative", "ideal",
                   "mop/evict"});
@@ -84,6 +133,6 @@ main()
                    cell("%.1f%%", p.conservative),
                    cell("%.1f%%", p.ideal), cell("%.1f", p.mopPerEvict)});
     }
-    paper.print();
+    paper.print(hout);
     return 0;
 }

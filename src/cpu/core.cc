@@ -20,6 +20,16 @@ Core::Core(CoreId id, const SystemParams &params, EventQueue &eq,
 {}
 
 void
+Core::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("core" + std::to_string(id_));
+    g.addCounter("mem_ops", &memOps);
+    g.addCounter("tx_mem_ops", &txMemOps);
+    g.addCounter("compute_ops", &computeOps);
+    g.addCounter("preemptions", &preemptions);
+}
+
+void
 Core::kick()
 {
     if (idle_ && !cur_) {

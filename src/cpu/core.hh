@@ -53,6 +53,9 @@ class Core
     /** OS daemon activity preempts this core for @p length cycles. */
     void daemonPreempt(Tick length);
 
+    /** Register this core's statistics under "core<N>". */
+    void regStats(StatRegistry &reg);
+
     /** @name Statistics */
     /// @{
     Counter memOps;       //!< loads+stores+CAS issued

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Option-table parsing implementation.
+ */
+
+#include "harness/cli.hh"
+
+#include <cstdio>
+
+namespace ptm
+{
+
+OptionTable::OptionTable(std::string prog, std::string summary)
+    : prog_(std::move(prog)), summary_(std::move(summary))
+{
+}
+
+void
+OptionTable::flag(const std::string &name, const std::string &help,
+                  std::function<void()> on)
+{
+    Opt o;
+    o.name = name;
+    o.help = help;
+    o.onFlag = std::move(on);
+    opts_.push_back(std::move(o));
+}
+
+void
+OptionTable::exitFlag(const std::string &name, const std::string &help,
+                      std::function<void()> on)
+{
+    Opt o;
+    o.name = name;
+    o.help = help;
+    o.exits = true;
+    o.onFlag = std::move(on);
+    opts_.push_back(std::move(o));
+}
+
+void
+OptionTable::option(const std::string &name, const std::string &metavar,
+                    const std::string &help,
+                    std::function<bool(const std::string &)> on)
+{
+    Opt o;
+    o.name = name;
+    o.metavar = metavar;
+    o.help = help;
+    o.onValue = std::move(on);
+    opts_.push_back(std::move(o));
+}
+
+namespace
+{
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t d = std::uint64_t(c - '0');
+        if (v > (UINT64_MAX - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+void
+OptionTable::optionString(const std::string &name,
+                          const std::string &metavar,
+                          const std::string &help, std::string &dest)
+{
+    option(name, metavar, help, [&dest](const std::string &v) {
+        dest = v;
+        return true;
+    });
+}
+
+void
+OptionTable::optionU64(const std::string &name,
+                       const std::string &metavar,
+                       const std::string &help, std::uint64_t &dest)
+{
+    option(name, metavar, help, [&dest](const std::string &v) {
+        return parseU64(v, dest);
+    });
+}
+
+void
+OptionTable::optionUnsigned(const std::string &name,
+                            const std::string &metavar,
+                            const std::string &help, unsigned &dest)
+{
+    option(name, metavar, help, [&dest](const std::string &v) {
+        std::uint64_t u;
+        if (!parseU64(v, u) || u > 0xFFFFFFFFull)
+            return false;
+        dest = unsigned(u);
+        return true;
+    });
+}
+
+void
+OptionTable::optionInt(const std::string &name,
+                       const std::string &metavar,
+                       const std::string &help, int &dest)
+{
+    option(name, metavar, help, [&dest](const std::string &v) {
+        bool neg = !v.empty() && v[0] == '-';
+        std::uint64_t u;
+        if (!parseU64(neg ? v.substr(1) : v, u) || u > 0x7FFFFFFFull)
+            return false;
+        dest = neg ? -int(u) : int(u);
+        return true;
+    });
+}
+
+const OptionTable::Opt *
+OptionTable::find(const std::string &name) const
+{
+    for (const auto &o : opts_)
+        if (o.name == name)
+            return &o;
+    return nullptr;
+}
+
+void
+OptionTable::printHelp() const
+{
+    std::printf("usage: %s [options]\n", prog_.c_str());
+    if (!summary_.empty())
+        std::printf("%s\n", summary_.c_str());
+    std::printf("\noptions:\n");
+    std::size_t width = 0;
+    for (const auto &o : opts_) {
+        std::size_t w = 2 + o.name.size() +
+                        (o.metavar.empty() ? 0 : 1 + o.metavar.size());
+        if (w > width)
+            width = w;
+    }
+    for (const auto &o : opts_) {
+        std::string left = "--" + o.name;
+        if (!o.metavar.empty())
+            left += " " + o.metavar;
+        std::printf("  %-*s  %s\n", int(width), left.c_str(),
+                    o.help.c_str());
+    }
+    std::printf("  %-*s  %s\n", int(width), "--help",
+                "show this help and exit");
+}
+
+CliStatus
+OptionTable::parse(int argc, char **argv) const
+{
+    bool exit_requested = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return CliStatus::Exit;
+        }
+        if (arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
+            std::fprintf(stderr,
+                         "%s: unexpected argument '%s' "
+                         "(try --help)\n",
+                         prog_.c_str(), arg.c_str());
+            return CliStatus::Error;
+        }
+
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+
+        const Opt *o = find(name);
+        if (!o) {
+            std::fprintf(stderr,
+                         "%s: unknown option '--%s' (try --help)\n",
+                         prog_.c_str(), name.c_str());
+            return CliStatus::Error;
+        }
+
+        if (o->onValue) {
+            if (!have_value) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "%s: option '--%s' requires a value "
+                                 "%s\n",
+                                 prog_.c_str(), name.c_str(),
+                                 o->metavar.c_str());
+                    return CliStatus::Error;
+                }
+                value = argv[++i];
+            }
+            if (!o->onValue(value)) {
+                std::fprintf(stderr,
+                             "%s: invalid value '%s' for option "
+                             "'--%s'\n",
+                             prog_.c_str(), value.c_str(),
+                             name.c_str());
+                return CliStatus::Error;
+            }
+        } else {
+            if (have_value) {
+                std::fprintf(stderr,
+                             "%s: option '--%s' takes no value\n",
+                             prog_.c_str(), name.c_str());
+                return CliStatus::Error;
+            }
+            o->onFlag();
+            if (o->exits)
+                exit_requested = true;
+        }
+    }
+    return exit_requested ? CliStatus::Exit : CliStatus::Ok;
+}
+
+} // namespace ptm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Declarative command-line option tables, shared by ptm_sim and the
+ * bench_* binaries.
+ *
+ * A front end declares its options once — name, value placeholder,
+ * help text, and a handler (or a typed destination) — and OptionTable
+ * handles parsing, `--opt value` / `--opt=value` forms, a generated
+ * `--help`, and unknown-option / missing-value diagnostics:
+ *
+ * @code
+ *     OptionTable opts("ptm_sim", "Run one workload on one system.");
+ *     opts.optionString("workload", "NAME", "fft | lu | ...", workload);
+ *     opts.flag("swap", "enable OS swapping",
+ *               [&] { prm.swapEnabled = true; });
+ *     opts.option("system", "KIND", "serial | locks | ...",
+ *                 [&](const std::string &v) {
+ *                     return parseTmKind(v, prm.tmKind);
+ *                 });
+ *     switch (opts.parse(argc, argv)) {
+ *       case CliStatus::Ok: break;
+ *       case CliStatus::Exit: return 0;   // --help
+ *       case CliStatus::Error: return 2;  // message already printed
+ *     }
+ * @endcode
+ */
+
+#ifndef PTM_HARNESS_CLI_HH
+#define PTM_HARNESS_CLI_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ptm
+{
+
+/** Outcome of OptionTable::parse. */
+enum class CliStatus
+{
+    Ok,    //!< all options consumed; proceed
+    Exit,  //!< informational option handled (--help); exit 0
+    Error, //!< bad usage; diagnostic already printed; exit non-zero
+};
+
+class OptionTable
+{
+  public:
+    /**
+     * @param prog     program name for usage/help output
+     * @param summary  one-line description printed atop --help
+     */
+    OptionTable(std::string prog, std::string summary);
+
+    /**
+     * A valueless option. @p on is invoked when the flag is seen.
+     * Spelled `--name` on the command line.
+     */
+    void flag(const std::string &name, const std::string &help,
+              std::function<void()> on);
+
+    /**
+     * A flag that requests exit after its action (e.g. --list).
+     * parse() returns CliStatus::Exit once all arguments are consumed.
+     */
+    void exitFlag(const std::string &name, const std::string &help,
+                  std::function<void()> on);
+
+    /**
+     * An option taking one value (`--name V` or `--name=V`).
+     * @p on returns false to reject the value (a diagnostic naming the
+     * option is then printed).
+     */
+    void option(const std::string &name, const std::string &metavar,
+                const std::string &help,
+                std::function<bool(const std::string &)> on);
+
+    /** @name Typed conveniences storing straight into a variable */
+    /// @{
+    void optionString(const std::string &name, const std::string &metavar,
+                      const std::string &help, std::string &dest);
+    void optionU64(const std::string &name, const std::string &metavar,
+                   const std::string &help, std::uint64_t &dest);
+    void optionUnsigned(const std::string &name,
+                        const std::string &metavar,
+                        const std::string &help, unsigned &dest);
+    void optionInt(const std::string &name, const std::string &metavar,
+                   const std::string &help, int &dest);
+    /// @}
+
+    /**
+     * Parse @p argv. `--help` / `-h` print the generated help and
+     * yield CliStatus::Exit. Unknown options, missing values, and
+     * handler-rejected values print a diagnostic to stderr and yield
+     * CliStatus::Error.
+     */
+    CliStatus parse(int argc, char **argv) const;
+
+    /** Print the generated help text to stdout. */
+    void printHelp() const;
+
+  private:
+    struct Opt
+    {
+        std::string name;
+        std::string metavar; //!< empty for flags
+        std::string help;
+        bool exits = false;
+        std::function<void()> onFlag;
+        std::function<bool(const std::string &)> onValue;
+    };
+
+    const Opt *find(const std::string &name) const;
+
+    std::string prog_;
+    std::string summary_;
+    std::vector<Opt> opts_;
+};
+
+} // namespace ptm
+
+#endif // PTM_HARNESS_CLI_HH

@@ -30,6 +30,7 @@ runWorkload(const std::string &workload_name, SystemParams params,
 
     ExperimentResult r;
     r.cycles = sys.run();
+    r.snapshot = sys.snapshot();
     r.stats = sys.stats();
     r.verified = wl->verify(sys);
     if (!r.verified)

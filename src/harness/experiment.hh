@@ -20,6 +20,13 @@ namespace ptm
 /** Result of one experiment run. */
 struct ExperimentResult
 {
+    /**
+     * By-value capture of every registered statistic, addressed by
+     * "group.stat" paths (e.g. "tx.commits", "vts.shadow_allocs").
+     * This is what the front ends and the JSON emitter consume.
+     */
+    StatSnapshot snapshot;
+    /** Legacy flat statistics view (tests and examples only). */
     RunStats stats;
     /** The workload's functional result matched the host reference. */
     bool verified = false;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/stats.hh"
+
 namespace ptm
 {
 
@@ -79,6 +81,20 @@ cellU(unsigned long long v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%llu", v);
     return buf;
+}
+
+/**
+ * Build a table row straight from registry paths: the given label
+ * @p cells followed by the integer value of each "group.stat" path in
+ * @p snap (0 for absent paths, e.g. backend-specific groups).
+ */
+inline std::vector<std::string>
+rowFromStats(std::vector<std::string> cells, const StatSnapshot &snap,
+             const std::vector<std::string> &paths)
+{
+    for (const auto &p : paths)
+        cells.push_back(cellU(snap.counter(p)));
+    return cells;
 }
 
 } // namespace ptm

@@ -1,0 +1,651 @@
+/**
+ * @file
+ * JSON statistics emission implementation.
+ */
+
+#include "harness/stats_io.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace ptm
+{
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < have_value_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (!have_value_.empty()) {
+        if (have_value_.back())
+            os_ << ',';
+        have_value_.back() = true;
+        indent();
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    have_value_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    bool had = have_value_.back();
+    have_value_.pop_back();
+    if (had)
+        indent();
+    os_ << '}';
+    if (have_value_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    have_value_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    have_value_.pop_back();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    jsonEscape(os_, k);
+    os_ << ": ";
+    pending_key_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    jsonEscape(os_, v);
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        os_ << "null";
+        return;
+    }
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        os_ << (long long)v;
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    separate();
+    os_ << "null";
+}
+
+namespace minijson
+{
+
+const Value *
+Value::get(const std::string &k) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &m : object)
+        if (m.first == k)
+            return &m.second;
+    return nullptr;
+}
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty()) {
+            err = what + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("bad escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                      if (pos + 4 > text.size())
+                          return fail("bad \\u escape");
+                      unsigned cp = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          char h = text[pos++];
+                          cp <<= 4;
+                          if (h >= '0' && h <= '9')
+                              cp |= unsigned(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              cp |= unsigned(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              cp |= unsigned(h - 'A' + 10);
+                          else
+                              return fail("bad \\u escape");
+                      }
+                      // Our emitter only escapes control chars; encode
+                      // the BMP code point as UTF-8.
+                      if (cp < 0x80) {
+                          out += char(cp);
+                      } else if (cp < 0x800) {
+                          out += char(0xC0 | (cp >> 6));
+                          out += char(0x80 | (cp & 0x3F));
+                      } else {
+                          out += char(0xE0 | (cp >> 12));
+                          out += char(0x80 | ((cp >> 6) & 0x3F));
+                          out += char(0x80 | (cp & 0x3F));
+                      }
+                      break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.type = Value::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string k;
+                skipWs();
+                if (!parseString(k))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.object.emplace_back(std::move(k), std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.type = Value::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.type = Value::Type::String;
+            return parseString(out.str);
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out.type = Value::Type::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out.type = Value::Type::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out.type = Value::Type::Null;
+            return true;
+        }
+        // Number.
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+'))
+            ++pos;
+        if (pos == start)
+            return fail("unexpected character");
+        try {
+            out.number = std::stod(text.substr(start, pos - start));
+        } catch (...) {
+            return fail("bad number");
+        }
+        out.type = Value::Type::Number;
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *err)
+{
+    Parser p{text};
+    if (!p.parseValue(out)) {
+        if (err)
+            *err = p.err;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace minijson
+
+const char *
+gitDescribe()
+{
+#ifdef PTM_GIT_DESCRIBE
+    return PTM_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+namespace
+{
+
+const char *
+shadowFreeName(ShadowFreePolicy p)
+{
+    return p == ShadowFreePolicy::MergeOnSwap ? "merge-on-swap"
+                                              : "lazy-migrate";
+}
+
+void
+emitParams(JsonWriter &w, const SystemParams &p)
+{
+    w.key("params");
+    w.beginObject();
+    w.member("num_cores", p.numCores);
+    w.member("l1_bytes", p.l1Bytes);
+    w.member("l1_assoc", p.l1Assoc);
+    w.member("l1_latency", std::uint64_t(p.l1Latency));
+    w.member("l2_bytes", p.l2Bytes);
+    w.member("l2_assoc", p.l2Assoc);
+    w.member("l2_latency", std::uint64_t(p.l2Latency));
+    w.member("bus_latency", std::uint64_t(p.busLatency));
+    w.member("dram_latency", std::uint64_t(p.dramLatency));
+    w.member("dram_pipeline", p.dramPipeline);
+    w.member("tlb_entries", p.tlbEntries);
+    w.member("phys_frames", p.physFrames);
+    w.member("swap_enabled", p.swapEnabled);
+    w.member("os_quantum", std::uint64_t(p.osQuantum));
+    w.member("daemon_interval", std::uint64_t(p.daemonInterval));
+    w.member("spt_cache_entries", p.sptCacheEntries);
+    w.member("tav_cache_entries", p.tavCacheEntries);
+    w.member("shadow_free", shadowFreeName(p.shadowFree));
+    w.member("xf_entries", p.xfEntries);
+    w.member("xadc_entries", p.xadcEntries);
+    w.member("victim_cache_entries", p.victimCacheEntries);
+    w.member("flush_on_context_switch", p.flushOnContextSwitch);
+    w.member("max_ticks", std::uint64_t(p.maxTicks));
+    w.endObject();
+}
+
+void
+emitStat(JsonWriter &w, const StatValue &v)
+{
+    w.beginObject();
+    w.member("kind", statKindName(v.kind));
+    switch (v.kind) {
+      case StatKind::Counter:
+      case StatKind::Scalar:
+        w.member("value", v.value);
+        break;
+      case StatKind::Average:
+        w.member("mean", v.value);
+        w.member("samples", v.count);
+        break;
+      case StatKind::TimeWeighted:
+        w.member("mean", v.value);
+        break;
+      case StatKind::Distribution:
+        w.member("samples", v.dist.samples);
+        w.member("sum", v.dist.sum);
+        w.member("mean", v.dist.mean());
+        w.member("min", v.dist.samples ? v.dist.min : 0.0);
+        w.member("max", v.dist.samples ? v.dist.max : 0.0);
+        w.member("bucket_lo", v.dist.lo);
+        w.member("bucket_width", v.dist.width);
+        w.member("underflow", v.dist.underflow);
+        w.member("overflow", v.dist.overflow);
+        w.key("counts");
+        w.beginArray();
+        for (std::uint64_t c : v.dist.counts)
+            w.value(c);
+        w.endArray();
+        break;
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+emitRunJson(std::ostream &os, const RunManifest &manifest,
+            const StatSnapshot &snap)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", "ptm-stats-v1");
+
+    w.key("manifest");
+    w.beginObject();
+    w.member("tool", manifest.tool);
+    w.member("workload", manifest.workload);
+    if (manifest.params) {
+        w.member("system", tmKindName(manifest.params->tmKind));
+        w.member("granularity",
+                 granularityName(manifest.params->granularity));
+        w.member("seed", manifest.params->seed);
+    }
+    w.member("threads", manifest.threads);
+    w.member("scale", std::int64_t(manifest.scale));
+    w.member("cycles", std::uint64_t(manifest.cycles));
+    w.member("verified", manifest.verified);
+    w.member("wall_seconds", manifest.wallSeconds);
+    w.member("git", gitDescribe());
+    if (manifest.params)
+        emitParams(w, *manifest.params);
+    w.endObject();
+
+    w.key("groups");
+    w.beginObject();
+    for (const auto &g : snap.groups()) {
+        w.key(g.name);
+        w.beginObject();
+        for (const auto &s : g.stats) {
+            w.key(s.first);
+            emitStat(w, s.second);
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+bool
+writeRunJson(const std::string &path, const RunManifest &manifest,
+             const StatSnapshot &snap, std::string *err)
+{
+    if (path == "-") {
+        emitRunJson(std::cout, manifest, snap);
+        return bool(std::cout);
+    }
+    std::ofstream f(path);
+    if (!f) {
+        if (err)
+            *err = "cannot open " + path + " for writing";
+        return false;
+    }
+    emitRunJson(f, manifest, snap);
+    f.flush();
+    if (!f) {
+        if (err)
+            *err = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+BenchRecorder &
+BenchRecorder::beginRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+BenchRecorder &
+BenchRecorder::field(const std::string &k, const std::string &v)
+{
+    Field f;
+    f.key = k;
+    f.kind = Field::Kind::Str;
+    f.s = v;
+    rows_.back().push_back(std::move(f));
+    return *this;
+}
+
+BenchRecorder &
+BenchRecorder::field(const std::string &k, const char *v)
+{
+    return field(k, std::string(v));
+}
+
+BenchRecorder &
+BenchRecorder::field(const std::string &k, double v)
+{
+    Field f;
+    f.key = k;
+    f.kind = Field::Kind::Num;
+    f.d = v;
+    rows_.back().push_back(std::move(f));
+    return *this;
+}
+
+BenchRecorder &
+BenchRecorder::field(const std::string &k, std::uint64_t v)
+{
+    Field f;
+    f.key = k;
+    f.kind = Field::Kind::UInt;
+    f.u = v;
+    rows_.back().push_back(std::move(f));
+    return *this;
+}
+
+BenchRecorder &
+BenchRecorder::field(const std::string &k, unsigned v)
+{
+    return field(k, std::uint64_t(v));
+}
+
+BenchRecorder &
+BenchRecorder::field(const std::string &k, bool v)
+{
+    Field f;
+    f.key = k;
+    f.kind = Field::Kind::Bool;
+    f.b = v;
+    rows_.back().push_back(std::move(f));
+    return *this;
+}
+
+bool
+BenchRecorder::writeJson(const std::string &path) const
+{
+    if (path.empty())
+        return true;
+
+    auto emit = [this](std::ostream &os) {
+        JsonWriter w(os);
+        w.beginObject();
+        w.member("schema", "ptm-bench-v1");
+        w.member("bench", bench_);
+        w.member("git", gitDescribe());
+        w.key("rows");
+        w.beginArray();
+        for (const auto &row : rows_) {
+            w.beginObject();
+            for (const auto &f : row) {
+                switch (f.kind) {
+                  case Field::Kind::Str: w.member(f.key, f.s); break;
+                  case Field::Kind::Num: w.member(f.key, f.d); break;
+                  case Field::Kind::UInt: w.member(f.key, f.u); break;
+                  case Field::Kind::Bool: w.member(f.key, f.b); break;
+                }
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    };
+
+    if (path == "-") {
+        emit(std::cout);
+        return bool(std::cout);
+    }
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    emit(f);
+    f.flush();
+    return bool(f);
+}
+
+} // namespace ptm

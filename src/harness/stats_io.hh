@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Machine-readable statistics emission.
+ *
+ * Serializes a run manifest (workload, system parameters, seed, build
+ * id, wall time) plus a StatSnapshot as JSON — the "ptm-stats-v1"
+ * schema consumed by tools/check_stats_json.py and any downstream
+ * analysis. Also provides:
+ *
+ *  - JsonWriter: a small streaming JSON writer (escaping, commas,
+ *    indentation) usable by any front end;
+ *  - minijson: a compact JSON parser used by the emitter round-trip
+ *    tests (and available to tools that read their own output back);
+ *  - BenchRecorder: row-oriented "ptm-bench-v1" result files for the
+ *    bench_* binaries' --json flag (BENCH_*.json trajectories).
+ *
+ * Schema ptm-stats-v1 (one run):
+ *
+ *     { "schema": "ptm-stats-v1",
+ *       "manifest": { "tool": ..., "workload": ..., "system": ...,
+ *                     "granularity": ..., "threads": N, "scale": N,
+ *                     "seed": N, "cycles": N, "verified": bool,
+ *                     "wall_seconds": x, "git": "...",
+ *                     "params": { ... SystemParams ... } },
+ *       "groups": { "<group>": { "<stat>": { "kind": "counter",
+ *                                            "value": N }, ... } } }
+ *
+ * Stat encodings by kind: counter {value}, average {mean, samples},
+ * time_weighted {mean}, scalar {value}, distribution {samples, sum,
+ * mean, min, max, bucket_lo, bucket_width, underflow, overflow,
+ * counts[]}.
+ */
+
+#ifndef PTM_HARNESS_STATS_IO_HH
+#define PTM_HARNESS_STATS_IO_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** Streaming JSON writer: handles escaping, commas and indentation. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** @name Structure */
+    /// @{
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** Next member's key (inside an object). */
+    void key(const std::string &k);
+    /// @}
+
+    /** @name Values */
+    /// @{
+    void value(const std::string &v);
+    void value(const char *v) { value(std::string(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(std::int64_t(v)); }
+    void value(unsigned v) { value(std::uint64_t(v)); }
+    void value(bool v);
+    void null();
+    /// @}
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(const std::string &k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostream &os_;
+    /** Nesting stack: true = a value was already emitted at the level. */
+    std::vector<bool> have_value_;
+    bool pending_key_ = false;
+};
+
+/** Write @p s JSON-escaped (with quotes) to @p os. */
+void jsonEscape(std::ostream &os, const std::string &s);
+
+/** A compact JSON parser (objects, arrays, strings, numbers, bools). */
+namespace minijson
+{
+
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const Value *get(const std::string &k) const;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+};
+
+/**
+ * Parse @p text into @p out.
+ * @return true on success; on failure @p err (if non-null) explains.
+ */
+bool parse(const std::string &text, Value &out, std::string *err);
+
+} // namespace minijson
+
+/** Identification of one simulator run for the JSON manifest. */
+struct RunManifest
+{
+    std::string tool;        //!< emitting binary ("ptm_sim", ...)
+    std::string workload;
+    unsigned threads = 0;
+    int scale = 0;
+    Tick cycles = 0;
+    bool verified = false;
+    double wallSeconds = 0;
+    /** Full system configuration; emitted when non-null. */
+    const SystemParams *params = nullptr;
+};
+
+/** Build id baked in at configure time ("unknown" outside git). */
+const char *gitDescribe();
+
+/** Emit one run as ptm-stats-v1 JSON. */
+void emitRunJson(std::ostream &os, const RunManifest &manifest,
+                 const StatSnapshot &snap);
+
+/**
+ * Write ptm-stats-v1 JSON to @p path ("-" = stdout).
+ * @return true on success; on failure @p err (if non-null) explains.
+ */
+bool writeRunJson(const std::string &path, const RunManifest &manifest,
+                  const StatSnapshot &snap, std::string *err = nullptr);
+
+/**
+ * Row-oriented results of one bench binary, written as ptm-bench-v1:
+ *
+ *     { "schema": "ptm-bench-v1", "bench": "...", "git": "...",
+ *       "rows": [ { "<field>": <value>, ... }, ... ] }
+ */
+class BenchRecorder
+{
+  public:
+    explicit BenchRecorder(std::string bench) : bench_(std::move(bench))
+    {}
+
+    /** Start a new result row. */
+    BenchRecorder &beginRow();
+
+    /** @name Add a field to the current row */
+    /// @{
+    BenchRecorder &field(const std::string &k, const std::string &v);
+    BenchRecorder &field(const std::string &k, const char *v);
+    BenchRecorder &field(const std::string &k, double v);
+    BenchRecorder &field(const std::string &k, std::uint64_t v);
+    BenchRecorder &field(const std::string &k, unsigned v);
+    BenchRecorder &field(const std::string &k, bool v);
+    /// @}
+
+    /**
+     * Write the accumulated rows to @p path ("-" = stdout; empty =
+     * no-op so call sites need no flag check).
+     * @return true on success or empty path.
+     */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    struct Field
+    {
+        enum class Kind { Str, Num, UInt, Bool };
+        std::string key;
+        Kind kind = Kind::Str;
+        std::string s;
+        double d = 0;
+        std::uint64_t u = 0;
+        bool b = false;
+    };
+
+    std::string bench_;
+    std::vector<std::vector<Field>> rows_;
+};
+
+} // namespace ptm
+
+#endif // PTM_HARNESS_STATS_IO_HH

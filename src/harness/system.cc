@@ -46,6 +46,54 @@ System::System(const SystemParams &params)
     os_.attach(&mem_, backend_.get(), std::move(core_ptrs));
 
     wireHooks();
+    regStats();
+}
+
+void
+System::regStats()
+{
+    // "sys": run-level gauges and the paper's derived Table 1 columns.
+    StatGroup &sys = registry_.addGroup("sys");
+    sys.addScalar("cycles", [this] {
+        return double(os_.lastExitTick() ? os_.lastExitTick()
+                                         : eq_.curTick());
+    });
+    sys.addScalar("hit_tick_limit",
+                  [this] { return hit_limit_ ? 1.0 : 0.0; });
+    sys.addScalar("mem_ops", [this] {
+        std::uint64_t n = 0;
+        for (const auto &c : cores_)
+            n += c->memOps.value();
+        return double(n);
+    });
+    sys.addScalar("mop_per_evict", [this] {
+        std::uint64_t evict = mem_.evictions.value();
+        std::uint64_t ops = 0;
+        for (const auto &c : cores_)
+            ops += c->memOps.value();
+        return evict ? double(ops) / double(evict) : 0.0;
+    });
+    sys.addScalar("conservative_pct", [this] {
+        std::size_t pages = os_.uniquePages();
+        return pages ? 100.0 * double(os_.txWrittenPages()) /
+                           double(pages)
+                     : 0.0;
+    });
+    sys.addScalar("ideal_pct", [this] {
+        std::size_t pages = os_.uniquePages();
+        if (!pages || !vts_)
+            return 0.0;
+        return 100.0 * vts_->liveDirtyPagesStat().mean() /
+               double(pages);
+    });
+
+    txmgr_.regStats(registry_);
+    mem_.regStats(registry_);
+    os_.regStats(registry_);
+    for (const auto &c : cores_)
+        c->regStats(registry_);
+    if (backend_)
+        backend_->regStats(registry_);
 }
 
 System::~System() = default;
@@ -205,20 +253,7 @@ System::stats() const
 void
 System::dumpStats(std::ostream &out) const
 {
-    RunStats s = stats();
-    out << "cycles " << s.cycles << "\n"
-        << "commits " << s.commits << "\n"
-        << "aborts " << s.aborts << "\n"
-        << "memOps " << s.memOps << "\n"
-        << "evictions " << s.evictions << "\n"
-        << "txEvictions " << s.txEvictions << "\n"
-        << "conflicts " << s.conflicts << "\n"
-        << "stalls " << s.stalls << "\n"
-        << "exceptions " << s.exceptions << "\n"
-        << "contextSwitches " << s.contextSwitches << "\n"
-        << "pages " << s.uniquePages << "\n"
-        << "pgXWr " << s.txWrittenPages << "\n"
-        << "mopPerEvict " << s.mopPerEvict() << "\n";
+    registry_.dump(out);
 }
 
 } // namespace ptm

@@ -160,10 +160,25 @@ class System
      */
     Tick run();
 
-    /** Aggregate statistics (valid after run()). */
+    /**
+     * The statistics registry: every component's metrics, registered
+     * under named groups ("sys", "tx", "mem", "os", "core<N>", and
+     * "vts" / "vtm" for the TM backends). The registry references the
+     * live components; use snapshot() for results that must outlive
+     * this System.
+     */
+    const StatRegistry &registry() const { return registry_; }
+
+    /** A by-value capture of every registered statistic. */
+    StatSnapshot snapshot() const { return StatSnapshot(registry_); }
+
+    /**
+     * Aggregate statistics (valid after run()). Legacy flat view kept
+     * for tests and examples; front ends use registry()/snapshot().
+     */
     RunStats stats() const;
 
-    /** Print a human-readable statistics dump. */
+    /** Print a "group.stat value" dump of the whole registry. */
     void dumpStats(std::ostream &os) const;
 
     /** @name Component access (tests, benches) */
@@ -190,9 +205,11 @@ class System
 
   private:
     void wireHooks();
+    void regStats();
     void unparkIfWaiting(ThreadCtx *t, ThreadState expected);
 
     SystemParams params_;
+    StatRegistry registry_;
     EventQueue eq_;
     PhysMem phys_;
     FrameAllocator frames_;

@@ -29,6 +29,26 @@ MemSystem::MemSystem(const SystemParams &params, EventQueue &eq,
     }
 }
 
+void
+MemSystem::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("mem");
+    g.addCounter("l1_hits", &l1Hits);
+    g.addCounter("l2_hits", &l2Hits);
+    g.addCounter("misses", &misses);
+    g.addCounter("evictions", &evictions);
+    g.addCounter("tx_evictions", &txEvictions);
+    g.addCounter("writebacks", &writebacks);
+    g.addCounter("conflicts", &conflicts);
+    g.addCounter("false_stalls", &falseStalls);
+    g.addCounter("cache_to_cache", &cacheToCache);
+    g.addCounter("ctxsw_flush_aborts", &ctxswFlushAborts);
+    g.addScalar("bus_transactions",
+                [this] { return double(bus_.transactions()); });
+    g.addScalar("dram_accesses",
+                [this] { return double(dram_.accesses()); });
+}
+
 std::uint16_t
 MemSystem::accessMask(Addr paddr) const
 {
@@ -462,8 +482,11 @@ MemSystem::evictLine(CoreId c, CacheLine &victim)
         for (const auto &m : victim.marks)
             if (m.writeWords && m.tx != oldest && txmgr_.isLive(m.tx))
                 losers.push_back(m.tx);
-        for (TxId t : losers)
+        for (TxId t : losers) {
+            if (in_tx_flush_)
+                ++ctxswFlushAborts;
             txmgr_.abort(t, AbortReason::MultiWriterEviction);
+        }
     }
 
     if (blockAlign(debugWatchAddr) == victim.addr)
@@ -697,6 +720,7 @@ Tick
 MemSystem::flushTxLines(TxId tx)
 {
     Tick lat = 0;
+    in_tx_flush_ = true;
     for (CoreId c = 0; c < params_.numCores; ++c) {
         l2_[c]->forEachValid([&](CacheLine &l) {
             if (!l.findMark(tx))
@@ -706,6 +730,7 @@ MemSystem::flushTxLines(TxId tx)
             l.invalidate();
         });
     }
+    in_tx_flush_ = false;
     return lat;
 }
 

@@ -143,6 +143,9 @@ class MemSystem
     const SystemParams &params() const { return params_; }
     /// @}
 
+    /** Register this component's statistics under "mem". */
+    void regStats(StatRegistry &reg);
+
     /** @name Statistics */
     /// @{
     Counter l1Hits;
@@ -154,6 +157,9 @@ class MemSystem
     Counter conflicts;      //!< arbitrated conflicts
     Counter falseStalls;    //!< retries due to cleanup-in-progress
     Counter cacheToCache;
+    /** Aborts forced by a context-switch flush of tx cache lines
+     *  (the flushOnContextSwitch ablation, section 4.7). */
+    Counter ctxswFlushAborts;
     /// @}
 
   private:
@@ -253,6 +259,9 @@ class MemSystem
     DramModel dram_;
     std::vector<std::unique_ptr<L1Filter>> l1_;
     std::vector<std::unique_ptr<CacheArray>> l2_;
+
+    /** True while flushTxLines runs (abort-cause attribution). */
+    bool in_tx_flush_ = false;
 
     /** Retry delay for cleanup-in-progress stalls. */
     static constexpr Tick retryDelay = 40;

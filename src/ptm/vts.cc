@@ -59,6 +59,35 @@ Vts::Vts(const SystemParams &params, EventQueue &eq, PhysMem &phys,
              "Vts built for a non-PTM system kind");
 }
 
+void
+Vts::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("vts");
+    g.addCounter("shadow_allocs", &shadowAllocs);
+    g.addCounter("shadow_frees", &shadowFrees);
+    g.addCounter("tav_nodes_created", &tavNodesCreated);
+    g.addCounter("commit_walk_nodes", &commitWalkNodes);
+    g.addCounter("abort_walk_nodes", &abortWalkNodes);
+    g.addCounter("abort_restore_units", &abortRestoreUnits);
+    g.addCounter("copy_backups", &copyBackups);
+    g.addCounter("stalls_signalled", &stallsSignalled);
+    g.addCounter("lazy_migrations", &lazyMigrations);
+    g.addCounter("spt_cache_hits", &sptCache.hits);
+    g.addCounter("spt_cache_misses", &sptCache.misses);
+    g.addCounter("spt_cache_dirty_evictions", &sptCache.dirtyEvictions);
+    g.addCounter("tav_cache_hits", &tavCache.hits);
+    g.addCounter("tav_cache_misses", &tavCache.misses);
+    g.addCounter("tav_cache_dirty_evictions", &tavCache.dirtyEvictions);
+    g.addScalar("live_shadow_pages",
+                [this] { return double(liveShadowPages()); });
+    g.addTimeWeighted("avg_live_dirty_pages", &live_dirty_);
+    g.addDistribution("commit_cleanup_latency", &commitCleanupLatency);
+    g.addDistribution("abort_cleanup_latency", &abortCleanupLatency);
+    g.addDistribution("spt_walk_len", &sptWalkLen);
+    g.addDistribution("tav_walk_len", &tavWalkLen);
+    g.addDistribution("overflow_pages_per_tx", &overflowPagesPerTx);
+}
+
 Vts::~Vts()
 {
     auto free_list = [](SptEntry &e) {
@@ -122,8 +151,10 @@ Vts::sptLookupCost(PageNum home)
         // from the TAV list (section 4.2.2); the TAV nodes met during
         // the walk enter the TAV cache.
         done = dram_.access(now);
+        unsigned walked = 0;
         if (SptEntry *e = findEntry(home)) {
             for (TavNode *t = e->tavHead; t; t = t->nextOnPage) {
+                ++walked;
                 done = dram_.access(done);
                 bool evd = false;
                 tavCache.access(tavKey(home, t->tx), false, evd);
@@ -131,6 +162,7 @@ Vts::sptLookupCost(PageNum home)
                     done = dram_.access(done);
             }
         }
+        sptWalkLen.sample(walked);
     }
     if (evicted_dirty)
         done = dram_.access(done);
@@ -632,14 +664,18 @@ Vts::startCleanup(TxId tx, bool is_commit)
 
     if (!head) {
         // Never overflowed: commit/abort is handled entirely in-cache.
+        overflowPagesPerTx.sample(0);
         txmgr_.cleanupDone(tx);
         return;
     }
 
     CleanupJob job;
     job.isCommit = is_commit;
+    job.startTick = eq_.curTick();
     for (TavNode *t = head; t; t = t->nextOfTx)
         job.nodes.push_back(t);
+    overflowPagesPerTx.sample(double(job.nodes.size()));
+    tavWalkLen.sample(double(job.nodes.size()));
     jobs_[tx] = std::move(job);
     cleanupStep(tx);
 }
@@ -671,6 +707,9 @@ Vts::cleanupStep(TxId tx)
         processNode(j, j.nodes[j.next]);
         ++j.next;
         if (j.next == j.nodes.size()) {
+            Distribution &lat = j.isCommit ? commitCleanupLatency
+                                           : abortCleanupLatency;
+            lat.sample(double(eq_.curTick() - j.startTick));
             jobs_.erase(tx);
             Transaction *txn = txmgr_.get(tx);
             if (txn && txn->overflowed) {

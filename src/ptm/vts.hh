@@ -107,6 +107,9 @@ class Vts : public TmBackend
 
     ~Vts() override;
 
+    /** Register the VTS statistics under the "vts" group. */
+    void regStats(StatRegistry &reg) override;
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -159,6 +162,17 @@ class Vts : public TmBackend
     Counter lazyMigrations;    //!< Select-PTM lazy shadow merges
     VtsMetaCache sptCache;
     VtsMetaCache tavCache;
+    /** Supervisor latency of each lazy commit walk (overflowed txs). */
+    Distribution commitCleanupLatency{0, 512 * 1000, 32};
+    /** Supervisor latency of each lazy abort walk (overflowed txs). */
+    Distribution abortCleanupLatency{0, 512 * 1000, 32};
+    /** TAV nodes met rebuilding a page's summary on an SPT-cache miss. */
+    Distribution sptWalkLen{0, 64, 16};
+    /** TAV nodes freed per commit/abort cleanup walk. */
+    Distribution tavWalkLen{0, 512, 32};
+    /** Pages with overflowed state per finished transaction (all txs,
+     *  including the never-overflowed ones, which sample as 0). */
+    Distribution overflowPagesPerTx{0, 256, 32};
     /// @}
 
   private:
@@ -167,6 +181,7 @@ class Vts : public TmBackend
         bool isCommit = false;
         std::vector<TavNode *> nodes;
         std::size_t next = 0;
+        Tick startTick = 0; //!< cleanup-latency distributions
     };
 
     /** Get-or-create the SPT entry of @p home. */

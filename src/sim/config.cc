@@ -42,4 +42,38 @@ granularityName(Granularity g)
     return "?";
 }
 
+bool
+parseTmKind(const std::string &s, TmKind &out)
+{
+    if (s == "serial")
+        out = TmKind::Serial;
+    else if (s == "locks")
+        out = TmKind::Locks;
+    else if (s == "copy-ptm")
+        out = TmKind::CopyPtm;
+    else if (s == "sel-ptm")
+        out = TmKind::SelectPtm;
+    else if (s == "vtm")
+        out = TmKind::Vtm;
+    else if (s == "vc-vtm")
+        out = TmKind::VcVtm;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseGranularity(const std::string &s, Granularity &out)
+{
+    if (s == "blk")
+        out = Granularity::Block;
+    else if (s == "wd:cache")
+        out = Granularity::WordCache;
+    else if (s == "wd:cache+mem")
+        out = Granularity::WordCacheMem;
+    else
+        return false;
+    return true;
+}
+
 } // namespace ptm

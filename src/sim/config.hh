@@ -75,6 +75,20 @@ const char *tmKindName(TmKind k);
 /** Returns the Figure 5 label for a granularity mode. */
 const char *granularityName(Granularity g);
 
+/**
+ * Parse a CLI system-kind spelling ("serial", "locks", "copy-ptm",
+ * "sel-ptm", "vtm", "vc-vtm") into @p out.
+ * @return false if @p s names no kind (@p out untouched).
+ */
+bool parseTmKind(const std::string &s, TmKind &out);
+
+/**
+ * Parse a CLI granularity spelling ("blk", "wd:cache", "wd:cache+mem")
+ * into @p out.
+ * @return false if @p s names no mode (@p out untouched).
+ */
+bool parseGranularity(const std::string &s, Granularity &out);
+
 /** All tunables of one simulated system instance. */
 struct SystemParams
 {

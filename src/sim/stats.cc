@@ -1,27 +1,289 @@
 /**
  * @file
- * StatGroup implementation.
+ * Distribution / StatGroup / StatRegistry / StatSnapshot implementation.
  */
 
 #include "sim/stats.hh"
 
+#include <cmath>
+
+#include "sim/logging.hh"
+
 namespace ptm
 {
+
+Distribution::Distribution(double lo, double hi, unsigned buckets)
+    : lo_(lo), width_((hi - lo) / double(buckets ? buckets : 1)),
+      counts_(buckets ? buckets : 1, 0)
+{
+    panic_if(hi <= lo, "Distribution bounds [%f, %f) are empty", lo, hi);
+    panic_if(buckets == 0, "Distribution needs at least one bucket");
+}
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (!n)
+        return;
+    if (!samples_) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    samples_ += n;
+    sum_ += v * double(n);
+
+    if (v < lo_) {
+        underflow_ += n;
+    } else {
+        auto i = std::size_t((v - lo_) / width_);
+        if (i >= counts_.size())
+            overflow_ += n;
+        else
+            counts_[i] += n;
+    }
+}
+
+void
+Distribution::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = min_ = max_ = 0;
+}
+
+const char *
+statKindName(StatKind k)
+{
+    switch (k) {
+      case StatKind::Counter: return "counter";
+      case StatKind::Average: return "average";
+      case StatKind::TimeWeighted: return "time_weighted";
+      case StatKind::Distribution: return "distribution";
+      case StatKind::Scalar: return "scalar";
+    }
+    return "unknown";
+}
+
+double
+StatRef::numeric() const
+{
+    switch (kind) {
+      case StatKind::Counter:
+        return double(counter->value());
+      case StatKind::Average:
+        return average->mean();
+      case StatKind::TimeWeighted:
+        return timeWeighted->mean();
+      case StatKind::Distribution:
+        return distribution->mean();
+      case StatKind::Scalar:
+        return scalar();
+    }
+    return 0.0;
+}
+
+void
+StatGroup::addRef(StatRef ref)
+{
+    auto [it, inserted] = index_.emplace(ref.name, stats_.size());
+    (void)it;
+    panic_if(!inserted, "duplicate stat '%s.%s' registered",
+             name_.c_str(), ref.name.c_str());
+    stats_.push_back(std::move(ref));
+}
+
+void
+StatGroup::addCounter(const std::string &stat_name, const Counter *c)
+{
+    StatRef r;
+    r.name = stat_name;
+    r.kind = StatKind::Counter;
+    r.counter = c;
+    addRef(std::move(r));
+}
+
+void
+StatGroup::addAverage(const std::string &stat_name, const Average *a)
+{
+    StatRef r;
+    r.name = stat_name;
+    r.kind = StatKind::Average;
+    r.average = a;
+    addRef(std::move(r));
+}
+
+void
+StatGroup::addTimeWeighted(const std::string &stat_name,
+                           const TimeWeighted *t)
+{
+    StatRef r;
+    r.name = stat_name;
+    r.kind = StatKind::TimeWeighted;
+    r.timeWeighted = t;
+    addRef(std::move(r));
+}
+
+void
+StatGroup::addDistribution(const std::string &stat_name,
+                           const Distribution *d)
+{
+    StatRef r;
+    r.name = stat_name;
+    r.kind = StatKind::Distribution;
+    r.distribution = d;
+    addRef(std::move(r));
+}
+
+void
+StatGroup::addScalar(const std::string &stat_name,
+                     std::function<double()> fn)
+{
+    StatRef r;
+    r.name = stat_name;
+    r.kind = StatKind::Scalar;
+    r.scalar = std::move(fn);
+    addRef(std::move(r));
+}
+
+const StatRef *
+StatGroup::find(const std::string &stat_name) const
+{
+    auto it = index_.find(stat_name);
+    return it == index_.end() ? nullptr : &stats_[it->second];
+}
 
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &[n, c] : counters_)
-        os << name_ << "." << n << " " << c->value() << "\n";
-    for (const auto &[n, a] : averages_)
-        os << name_ << "." << n << " " << a->mean() << "\n";
+    for (const auto &s : stats_) {
+        os << name_ << "." << s.name << " ";
+        if (s.kind == StatKind::Counter)
+            os << s.counter->value();
+        else if (s.kind == StatKind::Distribution)
+            os << s.distribution->mean() << " (n="
+               << s.distribution->samples() << ")";
+        else
+            os << s.numeric();
+        os << "\n";
+    }
 }
 
 std::uint64_t
 StatGroup::counterValue(const std::string &stat_name) const
 {
-    auto it = counters_.find(stat_name);
-    return it == counters_.end() ? 0 : it->second->value();
+    const StatRef *s = find(stat_name);
+    if (!s || s->kind != StatKind::Counter)
+        return 0;
+    return s->counter->value();
+}
+
+StatGroup &
+StatRegistry::addGroup(const std::string &name)
+{
+    auto [it, inserted] = index_.emplace(name, groups_.size());
+    (void)it;
+    panic_if(!inserted, "duplicate stat group '%s' registered",
+             name.c_str());
+    groups_.push_back(std::make_unique<StatGroup>(name));
+    return *groups_.back();
+}
+
+const StatGroup *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : groups_[it->second].get();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &g : groups_)
+        g->dump(os);
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos)
+        return 0;
+    const StatGroup *g = find(path.substr(0, dot));
+    return g ? g->counterValue(path.substr(dot + 1)) : 0;
+}
+
+StatSnapshot::StatSnapshot(const StatRegistry &reg)
+{
+    for (const auto &g : reg.groups()) {
+        Group group;
+        group.name = g->name();
+        for (const StatRef &s : g->stats()) {
+            StatValue v;
+            v.kind = s.kind;
+            switch (s.kind) {
+              case StatKind::Counter:
+                v.count = s.counter->value();
+                v.value = double(v.count);
+                break;
+              case StatKind::Average:
+                v.count = s.average->samples();
+                v.value = s.average->mean();
+                break;
+              case StatKind::TimeWeighted:
+                v.value = s.timeWeighted->mean();
+                break;
+              case StatKind::Scalar:
+                v.value = s.scalar();
+                // Counter-like reads of integral gauges must work too.
+                v.count = v.value > 0 ? std::uint64_t(v.value) : 0;
+                break;
+              case StatKind::Distribution: {
+                const Distribution &d = *s.distribution;
+                v.count = d.samples();
+                v.value = d.mean();
+                v.dist.lo = d.bucketLo();
+                v.dist.width = d.bucketWidth();
+                v.dist.counts.resize(d.buckets());
+                for (unsigned i = 0; i < d.buckets(); ++i)
+                    v.dist.counts[i] = d.count(i);
+                v.dist.underflow = d.underflow();
+                v.dist.overflow = d.overflow();
+                v.dist.samples = d.samples();
+                v.dist.sum = d.sum();
+                v.dist.min = d.min();
+                v.dist.max = d.max();
+                break;
+              }
+            }
+            index_[group.name + "." + s.name] = v;
+            group.stats.emplace_back(s.name, std::move(v));
+        }
+        groups_.push_back(std::move(group));
+    }
+}
+
+const StatValue *
+StatSnapshot::find(const std::string &path) const
+{
+    auto it = index_.find(path);
+    return it == index_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+StatSnapshot::counter(const std::string &path) const
+{
+    const StatValue *v = find(path);
+    return v ? v->count : 0;
+}
+
+double
+StatSnapshot::value(const std::string &path) const
+{
+    const StatValue *v = find(path);
+    return v ? v->value : 0.0;
 }
 
 } // namespace ptm

@@ -54,10 +54,15 @@ struct CheckResult
 /**
  * Abstract unbounded-TM backend.
  */
+class StatRegistry;
+
 class TmBackend
 {
   public:
     virtual ~TmBackend() = default;
+
+    /** Register the backend's statistics ("vts" / "vtm" group). */
+    virtual void regStats(StatRegistry &reg) { (void)reg; }
 
     /** Global overflow flag: any live transaction has evicted state. */
     virtual bool anyOverflow() const = 0;

@@ -10,6 +10,20 @@
 namespace ptm
 {
 
+void
+TxManager::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("tx");
+    g.addCounter("commits", &commits);
+    g.addCounter("aborts", &aborts);
+    g.addCounter("aborts_conflict", &abortsConflict);
+    g.addCounter("aborts_nontx", &abortsNonTx);
+    g.addCounter("aborts_multiwriter", &abortsMultiWriter);
+    g.addCounter("aborts_explicit", &abortsExplicit);
+    g.addCounter("nested_begins", &nestedBegins);
+    g.addCounter("ordered_waits", &orderedWaits);
+}
+
 const char *
 txStateName(TxState s)
 {
@@ -166,10 +180,20 @@ TxManager::abort(TxId id, AbortReason why)
     active_by_thread_.erase(tx->thread);
     --live_count_;
     ++aborts;
-    if (why == AbortReason::NonTxConflict)
+    switch (why) {
+      case AbortReason::ConflictLost:
+        ++abortsConflict;
+        break;
+      case AbortReason::NonTxConflict:
         ++abortsNonTx;
-    else if (why == AbortReason::MultiWriterEviction)
+        break;
+      case AbortReason::MultiWriterEviction:
         ++abortsMultiWriter;
+        break;
+      case AbortReason::Explicit:
+        ++abortsExplicit;
+        break;
+    }
 
     if (tx->ordered) {
         OrderedScope &sc = scopes_[tx->scope];

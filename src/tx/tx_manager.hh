@@ -157,12 +157,20 @@ class TxManager
     /** Number of transactions currently live. */
     unsigned liveCount() const { return live_count_; }
 
+    /** Register this component's statistics under "tx". */
+    void regStats(StatRegistry &reg);
+
     /** @name Statistics */
     /// @{
     Counter commits;
     Counter aborts;
-    Counter abortsNonTx;
-    Counter abortsMultiWriter;
+    /** @name Per-cause abort breakdown (sums to aborts) */
+    /// @{
+    Counter abortsConflict;    //!< lost eager arbitration
+    Counter abortsNonTx;       //!< conflicted with a non-tx access
+    Counter abortsMultiWriter; //!< multi-writer block eviction
+    Counter abortsExplicit;    //!< workload-injected aborts
+    /// @}
     Counter nestedBegins;
     Counter orderedWaits;
     /// @}

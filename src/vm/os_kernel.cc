@@ -32,6 +32,32 @@ OsKernel::attach(MemSystem *mem, TmBackend *backend,
     cores_ = std::move(cores);
 }
 
+void
+OsKernel::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("os");
+    g.addCounter("exceptions", &exceptions);
+    g.addCounter("page_faults", &pageFaults);
+    g.addCounter("swap_ins", &swapIns);
+    g.addCounter("swap_outs", &swapOuts);
+    g.addCounter("context_switches", &contextSwitches);
+    g.addCounter("tlb_shootdowns", &tlbShootdowns);
+    g.addScalar("pages", [this] { return double(uniquePages()); });
+    g.addScalar("pg_x_wr", [this] { return double(txWrittenPages()); });
+    g.addScalar("tlb_hits", [this] {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->hits.value();
+        return double(n);
+    });
+    g.addScalar("tlb_misses", [this] {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->misses.value();
+        return double(n);
+    });
+}
+
 ProcId
 OsKernel::createProcess()
 {

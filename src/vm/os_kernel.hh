@@ -144,6 +144,9 @@ class OsKernel
 
     Tlb &tlb(CoreId c) { return *tlbs_[c]; }
 
+    /** Register this component's statistics under "os". */
+    void regStats(StatRegistry &reg);
+
     /** @name Statistics */
     /// @{
     Counter exceptions;      //!< software faults taken (Table 1)

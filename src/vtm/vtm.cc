@@ -26,6 +26,26 @@ VtmController::VtmController(const SystemParams &params, EventQueue &eq,
              "the VTM model supports block-granularity conflicts only");
 }
 
+void
+VtmController::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("vtm");
+    g.addCounter("xadt_inserts", &xadtInserts);
+    g.addCounter("xadt_walks", &xadtWalks);
+    g.addCounter("xf_filtered", &xfFiltered);
+    g.addCounter("xadc_hits", &xadcHits);
+    g.addCounter("xadc_misses", &xadcMisses);
+    g.addCounter("copybacks", &copybacks);
+    g.addCounter("victim_hits", &victimHits);
+    g.addCounter("victim_writebacks", &victimWritebacks);
+    g.addCounter("stalls_signalled", &stallsSignalled);
+    g.addScalar("xadt_entries", [this] { return double(xadt_.size()); });
+    g.addDistribution("commit_cleanup_latency", &commitCleanupLatency);
+    g.addDistribution("abort_cleanup_latency", &abortCleanupLatency);
+    g.addDistribution("xadt_walk_len", &xadtWalkLen);
+    g.addDistribution("overflow_blocks_per_tx", &overflowBlocksPerTx);
+}
+
 Tick
 VtmController::xadcLookup(Addr block, bool allocate)
 {
@@ -285,13 +305,16 @@ VtmController::startCleanup(TxId tx, bool is_commit)
         blocks = std::move(it->second);
         tx_blocks_.erase(it);
     }
+    overflowBlocksPerTx.sample(double(blocks.size()));
     if (blocks.empty()) {
         txmgr_.cleanupDone(tx);
         return;
     }
+    xadtWalkLen.sample(double(blocks.size()));
 
     CleanupJob job;
     job.isCommit = is_commit;
+    job.startTick = eq_.curTick();
 
     if (is_commit && vc_enabled_) {
         // Victim-cache resident blocks commit instantly: their data is
@@ -311,6 +334,8 @@ VtmController::startCleanup(TxId tx, bool is_commit)
         }
         blocks = std::move(slow);
         if (blocks.empty()) {
+            // Every block was VC-resident: the commit is instant.
+            commitCleanupLatency.sample(0);
             finishCleanupNow(tx);
             return;
         }
@@ -372,6 +397,9 @@ VtmController::cleanupStep(TxId tx)
         processBlock(j, b, tx);
         ++j.next;
         if (j.next == j.blocks.size()) {
+            Distribution &lat = j.isCommit ? commitCleanupLatency
+                                           : abortCleanupLatency;
+            lat.sample(double(eq_.curTick() - j.startTick));
             jobs_.erase(tx);
             finishCleanupNow(tx);
         } else {

@@ -95,6 +95,9 @@ class VtmController : public TmBackend
                   PhysMem &phys, TxManager &txmgr, DramModel &dram);
     ~VtmController() override = default;
 
+    /** Register the VTM statistics under the "vtm" group. */
+    void regStats(StatRegistry &reg) override;
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -126,6 +129,16 @@ class VtmController : public TmBackend
     Counter victimHits;
     Counter victimWritebacks;
     Counter stallsSignalled;
+    /** Supervisor latency of each commit drain (overflowed txs;
+     *  victim-cache instant commits sample as 0). */
+    Distribution commitCleanupLatency{0, 512 * 1000, 32};
+    /** Supervisor latency of each abort drain (overflowed txs). */
+    Distribution abortCleanupLatency{0, 512 * 1000, 32};
+    /** XADT blocks drained per commit/abort walk. */
+    Distribution xadtWalkLen{0, 1024, 32};
+    /** Overflowed blocks per finished transaction (all txs; the
+     *  never-overflowed ones sample as 0). */
+    Distribution overflowBlocksPerTx{0, 1024, 32};
     /// @}
 
   private:
@@ -145,6 +158,7 @@ class VtmController : public TmBackend
         bool isCommit = false;
         std::vector<Addr> blocks;
         std::size_t next = 0;
+        Tick startTick = 0; //!< cleanup-latency distributions
     };
 
     /** XADC timing lookup; returns added latency. */

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Unit tests for the statistics registry (sim/stats) and the JSON
+ * emission layer (harness/stats_io): primitive edge cases, duplicate
+ * registration as a hard error, snapshot addressing, emit-and-reparse
+ * round trips, and the per-system registry contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/stats_io.hh"
+#include "sim/stats.hh"
+
+namespace ptm
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AverageStat, EmptyAndSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.samples(), 0u);
+    a.sample(2.0);
+    EXPECT_EQ(a.mean(), 2.0);
+    a.sample(4.0);
+    EXPECT_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(TimeWeightedStat, PiecewiseConstant)
+{
+    TimeWeighted t;
+    t.set(0, 10.0);
+    t.set(10, 20.0); // 10.0 held for [0,10)
+    t.finish(30);    // 20.0 held for [10,30)
+    EXPECT_DOUBLE_EQ(t.mean(), (10.0 * 10 + 20.0 * 20) / 30.0);
+}
+
+TEST(DistributionStat, Empty)
+{
+    Distribution d(0, 100, 10);
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    for (unsigned i = 0; i < d.buckets(); ++i)
+        EXPECT_EQ(d.count(i), 0u);
+}
+
+TEST(DistributionStat, SingleSample)
+{
+    Distribution d(0, 100, 10);
+    d.sample(35);
+    EXPECT_EQ(d.samples(), 1u);
+    EXPECT_EQ(d.mean(), 35.0);
+    EXPECT_EQ(d.min(), 35.0);
+    EXPECT_EQ(d.max(), 35.0);
+    EXPECT_EQ(d.count(3), 1u); // bucket [30,40)
+}
+
+TEST(DistributionStat, UnderflowOverflowAndBounds)
+{
+    Distribution d(10, 20, 10); // buckets of width 1 over [10,20)
+    d.sample(9.99);             // underflow
+    d.sample(10.0);             // first bucket (inclusive lo)
+    d.sample(19.99);            // last bucket
+    d.sample(20.0);             // overflow (exclusive hi)
+    d.sample(1000, 3);          // weighted overflow
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 4u);
+    EXPECT_EQ(d.count(0), 1u);
+    EXPECT_EQ(d.count(9), 1u);
+    EXPECT_EQ(d.samples(), 7u);
+    EXPECT_EQ(d.min(), 9.99);
+    EXPECT_EQ(d.max(), 1000.0);
+    // mean uses the exact sum, not bucket midpoints
+    EXPECT_DOUBLE_EQ(d.sum(), 9.99 + 10.0 + 19.99 + 20.0 + 3000.0);
+}
+
+TEST(DistributionStat, WeightedSamples)
+{
+    Distribution d(0, 10, 5);
+    d.sample(3, 4);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_EQ(d.count(1), 4u); // bucket [2,4)
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(StatGroupTest, RegistrationAndEnumeration)
+{
+    Counter c;
+    Average a;
+    c += 7;
+    StatGroup g("g");
+    g.addCounter("c", &c);
+    g.addAverage("a", &a);
+    g.addScalar("s", [] { return 2.5; });
+    EXPECT_EQ(g.stats().size(), 3u);
+    EXPECT_EQ(g.counterValue("c"), 7u);
+    ASSERT_NE(g.find("s"), nullptr);
+    EXPECT_EQ(g.find("s")->kind, StatKind::Scalar);
+    EXPECT_EQ(g.find("missing"), nullptr);
+}
+
+TEST(StatGroupDeathTest, DuplicateStatNamePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Counter c1, c2;
+    StatGroup g("g");
+    g.addCounter("events", &c1);
+    EXPECT_DEATH(g.addCounter("events", &c2), "duplicate");
+}
+
+TEST(StatGroupDeathTest, DuplicateAcrossKindsPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Counter c;
+    Average a;
+    StatGroup g("g");
+    g.addCounter("x", &c);
+    EXPECT_DEATH(g.addAverage("x", &a), "duplicate");
+}
+
+TEST(StatRegistryDeathTest, DuplicateGroupNamePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    StatRegistry reg;
+    reg.addGroup("mem");
+    EXPECT_DEATH(reg.addGroup("mem"), "duplicate");
+}
+
+TEST(StatSnapshotTest, CapturesByValue)
+{
+    StatRegistry reg;
+    Counter c;
+    Distribution d(0, 10, 5);
+    {
+        StatGroup &g = reg.addGroup("g");
+        c += 3;
+        d.sample(4);
+        g.addCounter("c", &c);
+        g.addDistribution("d", &d);
+    }
+    StatSnapshot snap(reg);
+    // Mutations after the snapshot must not show through.
+    c += 100;
+    d.sample(9);
+    EXPECT_EQ(snap.counter("g.c"), 3u);
+    const StatValue *v = snap.find("g.d");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->kind, StatKind::Distribution);
+    EXPECT_EQ(v->dist.samples, 1u);
+    EXPECT_FALSE(snap.has("g.missing"));
+    EXPECT_EQ(snap.counter("g.missing"), 0u);
+}
+
+TEST(MiniJson, ParsesBasicDocument)
+{
+    minijson::Value v;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(
+        R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\ny"},
+            "t": true, "n": null})",
+        v, &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.get("a")->number, 1.5);
+    EXPECT_EQ(v.get("b")->array.size(), 3u);
+    EXPECT_EQ(v.get("c")->get("d")->str, "x\ny");
+    EXPECT_TRUE(v.get("t")->boolean);
+    EXPECT_EQ(v.get("n")->type, minijson::Value::Type::Null);
+    EXPECT_EQ(v.get("zz"), nullptr);
+}
+
+TEST(MiniJson, RejectsMalformedInput)
+{
+    minijson::Value v;
+    EXPECT_FALSE(minijson::parse("{\"a\": }", v, nullptr));
+    EXPECT_FALSE(minijson::parse("[1, 2", v, nullptr));
+    EXPECT_FALSE(minijson::parse("{} trailing", v, nullptr));
+    EXPECT_FALSE(minijson::parse("", v, nullptr));
+}
+
+TEST(JsonWriterTest, EscapesStrings)
+{
+    std::ostringstream os;
+    jsonEscape(os, "a\"b\\c\nd\te\x01");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+/** Emit a populated registry and parse the result back. */
+TEST(StatsIoTest, RunJsonRoundTrip)
+{
+    StatRegistry reg;
+    Counter c;
+    c += 12;
+    Average a;
+    a.sample(1);
+    a.sample(3);
+    Distribution d(0, 100, 4);
+    d.sample(-5);
+    d.sample(10);
+    d.sample(250, 2);
+    StatGroup &g = reg.addGroup("grp");
+    g.addCounter("events", &c);
+    g.addAverage("avg", &a);
+    g.addDistribution("dist", &d);
+    g.addScalar("ratio", [] { return 0.75; });
+
+    SystemParams prm;
+    prm.tmKind = TmKind::Vtm;
+    prm.seed = 99;
+    RunManifest m;
+    m.tool = "test";
+    m.workload = "wl\"quoted";
+    m.threads = 4;
+    m.scale = -1;
+    m.cycles = 123456;
+    m.verified = true;
+    m.wallSeconds = 0.25;
+    m.params = &prm;
+
+    std::ostringstream os;
+    emitRunJson(os, m, StatSnapshot(reg));
+
+    minijson::Value v;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(os.str(), v, &err)) << err;
+    EXPECT_EQ(v.get("schema")->str, "ptm-stats-v1");
+
+    const minijson::Value *man = v.get("manifest");
+    ASSERT_NE(man, nullptr);
+    EXPECT_EQ(man->get("tool")->str, "test");
+    EXPECT_EQ(man->get("workload")->str, "wl\"quoted");
+    EXPECT_EQ(man->get("system")->str, std::string(tmKindName(prm.tmKind)));
+    EXPECT_DOUBLE_EQ(man->get("seed")->number, 99);
+    EXPECT_DOUBLE_EQ(man->get("scale")->number, -1);
+    EXPECT_DOUBLE_EQ(man->get("cycles")->number, 123456);
+    EXPECT_TRUE(man->get("verified")->boolean);
+    ASSERT_NE(man->get("params"), nullptr);
+    EXPECT_DOUBLE_EQ(man->get("params")->get("num_cores")->number, 4);
+
+    const minijson::Value *grp = v.get("groups")->get("grp");
+    ASSERT_NE(grp, nullptr);
+    EXPECT_EQ(grp->get("events")->get("kind")->str, "counter");
+    EXPECT_DOUBLE_EQ(grp->get("events")->get("value")->number, 12);
+    EXPECT_EQ(grp->get("avg")->get("kind")->str, "average");
+    EXPECT_DOUBLE_EQ(grp->get("avg")->get("mean")->number, 2.0);
+    EXPECT_DOUBLE_EQ(grp->get("ratio")->get("value")->number, 0.75);
+
+    const minijson::Value *dist = grp->get("dist");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->get("kind")->str, "distribution");
+    EXPECT_DOUBLE_EQ(dist->get("samples")->number, 4);
+    EXPECT_DOUBLE_EQ(dist->get("underflow")->number, 1);
+    EXPECT_DOUBLE_EQ(dist->get("overflow")->number, 2);
+    EXPECT_DOUBLE_EQ(dist->get("min")->number, -5);
+    EXPECT_DOUBLE_EQ(dist->get("max")->number, 250);
+    ASSERT_EQ(dist->get("counts")->array.size(), 4u);
+    EXPECT_DOUBLE_EQ(dist->get("counts")->array[0].number, 1);
+}
+
+TEST(StatsIoTest, BenchRecorderRoundTrip)
+{
+    BenchRecorder rec("mybench");
+    rec.beginRow()
+        .field("app", "fft")
+        .field("cycles", std::uint64_t(100))
+        .field("pct", 12.5)
+        .field("ok", true);
+    rec.beginRow().field("app", "lu");
+
+    std::string path = ::testing::TempDir() + "bench_rt.json";
+    ASSERT_TRUE(rec.writeJson(path));
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+
+    minijson::Value v;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(ss.str(), v, &err)) << err;
+    EXPECT_EQ(v.get("schema")->str, "ptm-bench-v1");
+    EXPECT_EQ(v.get("bench")->str, "mybench");
+    ASSERT_EQ(v.get("rows")->array.size(), 2u);
+    const minijson::Value &r0 = v.get("rows")->array[0];
+    EXPECT_EQ(r0.get("app")->str, "fft");
+    EXPECT_DOUBLE_EQ(r0.get("cycles")->number, 100);
+    EXPECT_DOUBLE_EQ(r0.get("pct")->number, 12.5);
+    EXPECT_TRUE(r0.get("ok")->boolean);
+}
+
+TEST(StatsIoTest, EmptyJsonPathIsNoop)
+{
+    BenchRecorder rec("b");
+    EXPECT_TRUE(rec.writeJson(""));
+}
+
+/**
+ * Every system kind must register a non-empty, correctly named group
+ * set, queryable through the snapshot an experiment returns.
+ */
+TEST(RegistryEnumeration, AllSystemKindsRegisterGroups)
+{
+    struct Case
+    {
+        TmKind kind;
+        bool hasTx, hasVts, hasVtm;
+    };
+    const Case cases[] = {
+        {TmKind::Serial, true, false, false},
+        {TmKind::Locks, true, false, false},
+        {TmKind::CopyPtm, true, true, false},
+        {TmKind::SelectPtm, true, true, false},
+        {TmKind::Vtm, true, false, true},
+        {TmKind::VcVtm, true, false, true},
+    };
+    for (const Case &c : cases) {
+        SystemParams prm;
+        prm.tmKind = c.kind;
+        ExperimentResult r = runWorkload("fft", prm, 0, 2);
+        const StatSnapshot &s = r.snapshot;
+        SCOPED_TRACE(tmKindName(c.kind));
+        EXPECT_TRUE(r.verified);
+
+        for (const char *g : {"sys", "mem", "os", "core0"}) {
+            bool found = false;
+            for (const auto &grp : s.groups())
+                found = found || grp.name == g;
+            EXPECT_TRUE(found) << "missing group " << g;
+        }
+        for (const auto &grp : s.groups())
+            EXPECT_FALSE(grp.stats.empty())
+                << "empty group " << grp.name;
+
+        EXPECT_EQ(s.has("tx.commits"), c.hasTx);
+        EXPECT_EQ(s.has("vts.shadow_allocs"), c.hasVts);
+        EXPECT_EQ(s.has("vtm.xadt_inserts"), c.hasVtm);
+        // The registry and the legacy flat view must agree.
+        EXPECT_EQ(s.counter("tx.commits"), r.stats.commits);
+        EXPECT_EQ(s.counter("mem.evictions"), r.stats.evictions);
+        EXPECT_EQ(s.counter("os.context_switches"),
+                  r.stats.contextSwitches);
+    }
+}
+
+/** The per-cause abort counters must sum to the abort total. */
+TEST(RegistryEnumeration, AbortCausesSumToTotal)
+{
+    SystemParams prm;
+    prm.tmKind = TmKind::SelectPtm;
+    ExperimentResult r = runWorkload("ocean", prm, 0, 4);
+    const StatSnapshot &s = r.snapshot;
+    EXPECT_EQ(s.counter("tx.aborts"),
+              s.counter("tx.aborts_conflict") +
+                  s.counter("tx.aborts_nontx") +
+                  s.counter("tx.aborts_multiwriter") +
+                  s.counter("tx.aborts_explicit"));
+}
+
+} // namespace
+} // namespace ptm

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Schema checker for ptm_sim --stats-json output.
+
+Runs ptm_sim for every system kind at the tiny test scale, parses the
+emitted ptm-stats-v1 JSON, and validates the schema: manifest fields
+and types, required stat groups per system, and the per-kind stat
+encodings. Exits non-zero (with a message per failure) if any run or
+check fails.
+
+Usage: check_stats_json.py PATH_TO_PTM_SIM
+"""
+
+import json
+import subprocess
+import sys
+
+SYSTEMS = ["serial", "locks", "copy-ptm", "sel-ptm", "vtm", "vc-vtm"]
+
+MANIFEST_FIELDS = {
+    "tool": str,
+    "workload": str,
+    "system": str,
+    "granularity": str,
+    "seed": (int, float),
+    "threads": (int, float),
+    "scale": (int, float),
+    "cycles": (int, float),
+    "verified": bool,
+    "wall_seconds": (int, float),
+    "git": str,
+    "params": dict,
+}
+
+STAT_KINDS = {
+    "counter": ["value"],
+    "scalar": ["value"],
+    "average": ["mean", "samples"],
+    "time_weighted": ["mean"],
+    "distribution": [
+        "samples", "sum", "mean", "min", "max",
+        "bucket_lo", "bucket_width", "underflow", "overflow", "counts",
+    ],
+}
+
+BASE_GROUPS = ["sys", "tx", "mem", "os", "core0"]
+
+
+def check_run(ptm_sim, system):
+    errors = []
+    cmd = [
+        ptm_sim, "--workload", "fft", "--system", system,
+        "--scale", "0", "--threads", "2", "--stats-json", "-",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"{system}: ptm_sim exited {proc.returncode}: "
+                f"{proc.stderr.strip()}"]
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        return [f"{system}: invalid JSON: {e}"]
+
+    if doc.get("schema") != "ptm-stats-v1":
+        errors.append(f"{system}: bad schema tag {doc.get('schema')!r}")
+
+    manifest = doc.get("manifest", {})
+    for field, ty in MANIFEST_FIELDS.items():
+        if field not in manifest:
+            errors.append(f"{system}: manifest missing {field!r}")
+        elif not isinstance(manifest[field], ty):
+            errors.append(
+                f"{system}: manifest.{field} has type "
+                f"{type(manifest[field]).__name__}")
+    if not manifest.get("verified", False):
+        errors.append(f"{system}: run did not verify")
+
+    groups = doc.get("groups", {})
+    expected = list(BASE_GROUPS)
+    if system in ("copy-ptm", "sel-ptm"):
+        expected.append("vts")
+    if system in ("vtm", "vc-vtm"):
+        expected.append("vtm")
+    for g in expected:
+        if g not in groups:
+            errors.append(f"{system}: missing group {g!r}")
+        elif not groups[g]:
+            errors.append(f"{system}: group {g!r} is empty")
+
+    for gname, stats in groups.items():
+        for sname, stat in stats.items():
+            kind = stat.get("kind")
+            if kind not in STAT_KINDS:
+                errors.append(
+                    f"{system}: {gname}.{sname} has bad kind {kind!r}")
+                continue
+            for field in STAT_KINDS[kind]:
+                if field not in stat:
+                    errors.append(
+                        f"{system}: {gname}.{sname} ({kind}) missing "
+                        f"{field!r}")
+            if kind == "distribution":
+                counts = stat.get("counts", [])
+                if not isinstance(counts, list) or not counts:
+                    errors.append(
+                        f"{system}: {gname}.{sname} counts not a "
+                        "non-empty list")
+
+    # Spot-check run-level consistency.
+    if "sys" in groups and "cycles" in groups["sys"]:
+        if groups["sys"]["cycles"]["value"] != manifest.get("cycles"):
+            errors.append(
+                f"{system}: sys.cycles != manifest.cycles")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ptm_sim = sys.argv[1]
+    failures = []
+    for system in SYSTEMS:
+        errs = check_run(ptm_sim, system)
+        status = "ok" if not errs else f"{len(errs)} error(s)"
+        print(f"{system:10s} {status}")
+        failures.extend(errs)
+    for e in failures:
+        print(f"error: {e}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,77 +8,22 @@
  *     ptm_sim --workload ocean --system sel-ptm --threads 4
  *     ptm_sim --workload radix --system sel-ptm --gran wd:cache+mem
  *     ptm_sim --workload fft --system vtm --seed 7 --scale 0
+ *     ptm_sim --workload fft --system vc-vtm --stats-json out.json
  *     ptm_sim --list
+ *
+ * With `--stats-json FILE` the full statistics registry plus a run
+ * manifest is written as ptm-stats-v1 JSON; FILE may be `-` for
+ * stdout, in which case the human-readable summary is suppressed so
+ * the output can be piped straight into jq.
  */
 
+#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 
+#include "harness/cli.hh"
 #include "harness/experiment.hh"
-
-namespace
-{
-
-using namespace ptm;
-
-void
-usage()
-{
-    std::printf(
-        "usage: ptm_sim [options]\n"
-        "  --workload NAME   fft | lu | radix | ocean | water\n"
-        "  --system KIND     serial | locks | copy-ptm | sel-ptm |\n"
-        "                    vtm | vc-vtm            (default sel-ptm)\n"
-        "  --gran MODE       blk | wd:cache | wd:cache+mem\n"
-        "  --threads N       worker threads          (default 4)\n"
-        "  --cores N         CPU cores               (default 4)\n"
-        "  --scale N         0 = tiny test size, 1 = benchmark size\n"
-        "  --seed N          workload RNG seed       (default 1)\n"
-        "  --quantum N       OS time slice in cycles (0 = off)\n"
-        "  --daemon N        daemon preemption interval (0 = off)\n"
-        "  --swap            enable OS swapping\n"
-        "  --frames N        physical memory frames\n"
-        "  --lazy-migrate    Select-PTM lazy shadow freeing\n"
-        "  --flush-ctxsw     flush tx cache lines on context switch\n"
-        "  --list            list workloads and exit\n");
-}
-
-bool
-parseKind(const std::string &s, TmKind &out)
-{
-    if (s == "serial")
-        out = TmKind::Serial;
-    else if (s == "locks")
-        out = TmKind::Locks;
-    else if (s == "copy-ptm")
-        out = TmKind::CopyPtm;
-    else if (s == "sel-ptm")
-        out = TmKind::SelectPtm;
-    else if (s == "vtm")
-        out = TmKind::Vtm;
-    else if (s == "vc-vtm")
-        out = TmKind::VcVtm;
-    else
-        return false;
-    return true;
-}
-
-bool
-parseGran(const std::string &s, Granularity &out)
-{
-    if (s == "blk")
-        out = Granularity::Block;
-    else if (s == "wd:cache")
-        out = Granularity::WordCache;
-    else if (s == "wd:cache+mem")
-        out = Granularity::WordCacheMem;
-    else
-        return false;
-    return true;
-}
-
-} // namespace
+#include "harness/stats_io.hh"
 
 int
 main(int argc, char **argv)
@@ -86,121 +31,163 @@ main(int argc, char **argv)
     using namespace ptm;
 
     std::string workload = "fft";
+    std::string json_path;
     SystemParams prm;
     prm.tmKind = TmKind::SelectPtm;
     unsigned threads = 4;
     int scale = 1;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (a == "--workload") {
-            workload = next();
-        } else if (a == "--system") {
-            if (!parseKind(next(), prm.tmKind)) {
-                usage();
-                return 1;
-            }
-        } else if (a == "--gran") {
-            if (!parseGran(next(), prm.granularity)) {
-                usage();
-                return 1;
-            }
-        } else if (a == "--threads") {
-            threads = unsigned(std::stoul(next()));
-        } else if (a == "--cores") {
-            prm.numCores = unsigned(std::stoul(next()));
-        } else if (a == "--scale") {
-            scale = std::stoi(next());
-        } else if (a == "--seed") {
-            prm.seed = std::stoull(next());
-        } else if (a == "--quantum") {
-            prm.osQuantum = std::stoull(next());
-        } else if (a == "--daemon") {
-            prm.daemonInterval = std::stoull(next());
-        } else if (a == "--swap") {
-            prm.swapEnabled = true;
-        } else if (a == "--frames") {
-            prm.physFrames = std::stoull(next());
-        } else if (a == "--lazy-migrate") {
-            prm.shadowFree = ShadowFreePolicy::LazyMigrate;
-        } else if (a == "--flush-ctxsw") {
-            prm.flushOnContextSwitch = true;
-        } else if (a == "--list") {
-            for (const auto &w : workloadNames())
-                std::printf("%s\n", w.c_str());
-            return 0;
-        } else {
-            usage();
-            return a == "--help" || a == "-h" ? 0 : 1;
+    OptionTable opts("ptm_sim",
+                     "Run one workload kernel on one simulated system "
+                     "and report its statistics.");
+    opts.optionString("workload", "NAME", "fft | lu | radix | ocean | water",
+                      workload);
+    opts.option("system", "KIND",
+                "serial | locks | copy-ptm | sel-ptm | vtm | vc-vtm "
+                "(default sel-ptm)",
+                [&](const std::string &v) {
+                    return parseTmKind(v, prm.tmKind);
+                });
+    opts.option("gran", "MODE", "blk | wd:cache | wd:cache+mem",
+                [&](const std::string &v) {
+                    return parseGranularity(v, prm.granularity);
+                });
+    opts.optionUnsigned("threads", "N", "worker threads (default 4)",
+                        threads);
+    opts.optionUnsigned("cores", "N", "CPU cores (default 4)",
+                        prm.numCores);
+    opts.optionInt("scale", "N", "0 = tiny test size, 1 = benchmark size",
+                   scale);
+    opts.optionU64("seed", "N", "workload RNG seed (default 1)",
+                   prm.seed);
+    opts.optionU64("quantum", "N", "OS time slice in cycles (0 = off)",
+                   prm.osQuantum);
+    opts.optionU64("daemon", "N", "daemon preemption interval (0 = off)",
+                   prm.daemonInterval);
+    opts.flag("swap", "enable OS swapping",
+              [&] { prm.swapEnabled = true; });
+    opts.optionU64("frames", "N", "physical memory frames",
+                   prm.physFrames);
+    opts.flag("lazy-migrate", "Select-PTM lazy shadow freeing",
+              [&] { prm.shadowFree = ShadowFreePolicy::LazyMigrate; });
+    opts.flag("flush-ctxsw", "flush tx cache lines on context switch",
+              [&] { prm.flushOnContextSwitch = true; });
+    opts.optionString("stats-json", "FILE",
+                      "write ptm-stats-v1 JSON to FILE (- = stdout)",
+                      json_path);
+    opts.exitFlag("list", "list workloads and exit", [&] {
+        for (const auto &w : workloadNames())
+            std::printf("%s\n", w.c_str());
+    });
+
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    ExperimentResult r = runWorkload(workload, prm, scale, threads);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    const StatSnapshot &s = r.snapshot;
+
+    // JSON to stdout replaces the human summary entirely.
+    bool human = json_path != "-";
+    if (human) {
+        std::printf("workload          %s (scale %d, %u threads, seed "
+                    "%llu)\n",
+                    workload.c_str(), scale, threads,
+                    (unsigned long long)prm.seed);
+        std::printf("system            %s", tmKindName(prm.tmKind));
+        if (prm.tmKind == TmKind::SelectPtm ||
+            prm.tmKind == TmKind::CopyPtm)
+            std::printf(" / %s", granularityName(prm.granularity));
+        std::printf("\n");
+        std::printf("cycles            %llu\n",
+                    (unsigned long long)r.cycles);
+        std::printf("verified          %s\n", r.verified ? "yes" : "NO");
+        std::printf("memOps            %llu\n",
+                    (unsigned long long)s.counter("sys.mem_ops"));
+        std::printf("commits/aborts    %llu / %llu\n",
+                    (unsigned long long)s.counter("tx.commits"),
+                    (unsigned long long)s.counter("tx.aborts"));
+        std::printf("conflicts/stalls  %llu / %llu\n",
+                    (unsigned long long)s.counter("mem.conflicts"),
+                    (unsigned long long)s.counter("mem.false_stalls"));
+        std::printf("L2 evictions      %llu (tx: %llu)\n",
+                    (unsigned long long)s.counter("mem.evictions"),
+                    (unsigned long long)s.counter("mem.tx_evictions"));
+        std::printf("bus transactions  %llu\n",
+                    (unsigned long long)
+                        s.counter("mem.bus_transactions"));
+        std::printf("dram accesses     %llu\n",
+                    (unsigned long long)s.counter("mem.dram_accesses"));
+        std::printf("exceptions        %llu\n",
+                    (unsigned long long)s.counter("os.exceptions"));
+        std::printf("context switches  %llu\n",
+                    (unsigned long long)s.counter("os.context_switches"));
+        std::printf("pages / pg-x-wr   %llu / %llu\n",
+                    (unsigned long long)s.counter("os.pages"),
+                    (unsigned long long)s.counter("os.pg_x_wr"));
+        std::uint64_t swap_out = s.counter("os.swap_outs");
+        std::uint64_t swap_in = s.counter("os.swap_ins");
+        if (swap_out || swap_in)
+            std::printf("swap out/in       %llu / %llu\n",
+                        (unsigned long long)swap_out,
+                        (unsigned long long)swap_in);
+        if (s.has("vts.shadow_allocs")) {
+            std::printf("shadow pages      %llu allocated, %llu freed, "
+                        "%llu live\n",
+                        (unsigned long long)
+                            s.counter("vts.shadow_allocs"),
+                        (unsigned long long)
+                            s.counter("vts.shadow_frees"),
+                        (unsigned long long)
+                            s.counter("vts.live_shadow_pages"));
+            std::printf("SPT cache         %llu hits / %llu misses\n",
+                        (unsigned long long)
+                            s.counter("vts.spt_cache_hits"),
+                        (unsigned long long)
+                            s.counter("vts.spt_cache_misses"));
+            std::printf("TAV cache         %llu hits / %llu misses\n",
+                        (unsigned long long)
+                            s.counter("vts.tav_cache_hits"),
+                        (unsigned long long)
+                            s.counter("vts.tav_cache_misses"));
+        }
+        if (s.has("vtm.xadt_inserts")) {
+            std::printf("XADT inserts      %llu\n",
+                        (unsigned long long)
+                            s.counter("vtm.xadt_inserts"));
+            std::printf("commit copybacks  %llu\n",
+                        (unsigned long long)s.counter("vtm.copybacks"));
+            std::printf("XF filtered       %llu\n",
+                        (unsigned long long)s.counter("vtm.xf_filtered"));
         }
     }
 
-    ExperimentResult r = runWorkload(workload, prm, scale, threads);
-    const RunStats &s = r.stats;
-
-    std::printf("workload          %s (scale %d, %u threads, seed "
-                "%llu)\n",
-                workload.c_str(), scale, threads,
-                (unsigned long long)prm.seed);
-    std::printf("system            %s", tmKindName(prm.tmKind));
-    if (prm.tmKind == TmKind::SelectPtm || prm.tmKind == TmKind::CopyPtm)
-        std::printf(" / %s", granularityName(prm.granularity));
-    std::printf("\n");
-    std::printf("cycles            %llu\n", (unsigned long long)r.cycles);
-    std::printf("verified          %s\n", r.verified ? "yes" : "NO");
-    std::printf("memOps            %llu\n", (unsigned long long)s.memOps);
-    std::printf("commits/aborts    %llu / %llu\n",
-                (unsigned long long)s.commits,
-                (unsigned long long)s.aborts);
-    std::printf("conflicts/stalls  %llu / %llu\n",
-                (unsigned long long)s.conflicts,
-                (unsigned long long)s.stalls);
-    std::printf("L2 evictions      %llu (tx: %llu)\n",
-                (unsigned long long)s.evictions,
-                (unsigned long long)s.txEvictions);
-    std::printf("bus transactions  %llu\n",
-                (unsigned long long)s.busTransactions);
-    std::printf("dram accesses     %llu\n",
-                (unsigned long long)s.dramAccesses);
-    std::printf("exceptions        %llu\n",
-                (unsigned long long)s.exceptions);
-    std::printf("context switches  %llu\n",
-                (unsigned long long)s.contextSwitches);
-    std::printf("pages / pg-x-wr   %llu / %llu\n",
-                (unsigned long long)s.uniquePages,
-                (unsigned long long)s.txWrittenPages);
-    if (s.swapOuts || s.swapIns)
-        std::printf("swap out/in       %llu / %llu\n",
-                    (unsigned long long)s.swapOuts,
-                    (unsigned long long)s.swapIns);
-    if (prm.tmKind == TmKind::SelectPtm ||
-        prm.tmKind == TmKind::CopyPtm) {
-        std::printf("shadow pages      %llu allocated, %llu freed, "
-                    "%llu live\n",
-                    (unsigned long long)s.shadowAllocs,
-                    (unsigned long long)s.shadowFrees,
-                    (unsigned long long)s.liveShadowPages);
-        std::printf("SPT cache         %llu hits / %llu misses\n",
-                    (unsigned long long)s.sptCacheHits,
-                    (unsigned long long)s.sptCacheMisses);
-        std::printf("TAV cache         %llu hits / %llu misses\n",
-                    (unsigned long long)s.tavCacheHits,
-                    (unsigned long long)s.tavCacheMisses);
-    }
-    if (prm.tmKind == TmKind::Vtm || prm.tmKind == TmKind::VcVtm) {
-        std::printf("XADT inserts      %llu\n",
-                    (unsigned long long)s.xadtEntries);
-        std::printf("commit copybacks  %llu\n",
-                    (unsigned long long)s.xadtCopybacks);
-        std::printf("XF filtered       %llu\n",
-                    (unsigned long long)s.xfFiltered);
+    if (!json_path.empty()) {
+        RunManifest m;
+        m.tool = "ptm_sim";
+        m.workload = workload;
+        m.threads = threads;
+        m.scale = scale;
+        m.cycles = r.cycles;
+        m.verified = r.verified;
+        m.wallSeconds = wall;
+        m.params = &prm;
+        std::string err;
+        if (!writeRunJson(json_path, m, s, &err)) {
+            std::fprintf(stderr, "ptm_sim: %s\n", err.c_str());
+            return 2;
+        }
+        if (human)
+            std::printf("stats json        %s\n", json_path.c_str());
     }
     return r.verified ? 0 : 1;
 }
