@@ -11,11 +11,14 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 int
 main(int argc, char **argv)
@@ -23,11 +26,13 @@ main(int argc, char **argv)
     using namespace ptm;
 
     std::string json_path;
+    TraceParams trace;
     OptionTable opts("bench_ablation_caches",
                      "Sweep the VTS SPT/TAV cache sizes.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -37,9 +42,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     struct Cfg
     {
@@ -64,7 +73,10 @@ main(int argc, char **argv)
             prm.tmKind = TmKind::SelectPtm;
             prm.sptCacheEntries = c.spt;
             prm.tavCacheEntries = c.tav;
+            prm.trace = trace;
             ExperimentResult r = runWorkload(app, prm, 1, 4);
+            if (!trace.path.empty())
+                captures.push_back(std::move(r.trace));
             const StatSnapshot &s = r.snapshot;
             std::uint64_t spt_hits = s.counter("vts.spt_cache_hits");
             std::uint64_t tav_hits = s.counter("vts.tav_cache_hits");
@@ -97,6 +109,17 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_ablation_caches: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_ablation_caches: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
     return 0;
 }

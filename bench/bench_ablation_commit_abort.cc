@@ -17,11 +17,14 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/system.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 namespace
 {
@@ -37,17 +40,20 @@ struct Result
     std::uint64_t copybacks = 0;
     std::uint64_t stalls = 0;
     bool ok = false;
+    TraceCapture trace;
 };
 
 /**
  * @param kind        TM system under test
  * @param abort_every sabotage every n-th transaction (0 = never)
+ * @param trace       event-tracing parameters (off if path empty)
  */
 Result
-run(TmKind kind, unsigned abort_every)
+run(TmKind kind, unsigned abort_every, const TraceParams &trace)
 {
     SystemParams p;
     p.tmKind = kind;
+    p.trace = trace;
     p.l1Bytes = 1024;
     p.l2Bytes = 8 * 1024; // 128 lines: transactions overflow
     p.l2Assoc = 2;
@@ -109,6 +115,10 @@ run(TmKind kind, unsigned abort_every)
     sys.run();
     StatSnapshot s = sys.snapshot();
     Result res;
+    if (sys.tracer().active())
+        res.trace = captureTrace(sys.tracer(),
+                                 std::string("commit-abort/") +
+                                     tmKindName(kind));
     res.cycles = Tick(s.value("sys.cycles"));
     res.aborts = s.counter("tx.aborts");
     res.copyBackups = s.counter("vts.copy_backups");
@@ -133,12 +143,14 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    TraceParams trace;
     OptionTable opts("bench_ablation_commit_abort",
                      "Commit vs abort cost of the versioning "
                      "policies.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -148,9 +160,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     std::fprintf(hout, "Ablation B: commit/abort cost of the versioning "
                 "policies (overflowing transactions)\n\n");
@@ -163,7 +179,9 @@ main(int argc, char **argv)
                             TmKind::Vtm, TmKind::VcVtm};
     for (unsigned every : {0u, 4u, 2u}) {
         for (TmKind k : kinds) {
-            Result r = run(k, every);
+            Result r = run(k, every, trace);
+            if (!trace.path.empty())
+                captures.push_back(std::move(r.trace));
             const char *rate = every == 0 ? "none"
                                : every == 4 ? "1 in 4"
                                             : "1 in 2";
@@ -190,6 +208,17 @@ main(int argc, char **argv)
                      "bench_ablation_commit_abort: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_ablation_commit_abort: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
     std::fprintf(hout, "\n(Expected: Select-PTM cheap everywhere; Copy-PTM "
                 "pays abort restores; VTM pays commit copybacks and "

@@ -11,11 +11,14 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 int
 main(int argc, char **argv)
@@ -23,12 +26,14 @@ main(int argc, char **argv)
     using namespace ptm;
 
     std::string json_path;
+    TraceParams trace;
     OptionTable opts("bench_ablation_ctxsw",
                      "Context-switch handling: PTM tx-ID tags vs "
                      "flush-on-switch.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -38,9 +43,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     std::fprintf(hout, "Ablation D: context switches — PTM tx-ID tags vs "
                 "flush-on-switch (8 threads / 4 cores)\n\n");
@@ -55,7 +64,10 @@ main(int argc, char **argv)
             prm.osQuantum = 20 * 1000;
             prm.daemonInterval = 300 * 1000;
             prm.flushOnContextSwitch = flush;
+            prm.trace = trace;
             ExperimentResult r = runWorkload(app, prm, 1, 8);
+            if (!trace.path.empty())
+                captures.push_back(std::move(r.trace));
             const char *mode =
                 flush ? "flush-on-switch" : "tx-ID tags (PTM)";
             auto row = rowFromStats(
@@ -83,6 +95,17 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_ablation_ctxsw: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_ablation_ctxsw: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
     std::fprintf(hout, "\n(Flushing forces overflow handling on every switch "
                 "inside a transaction; PTM's tagged lines avoid it.)\n");

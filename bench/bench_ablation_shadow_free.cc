@@ -21,11 +21,14 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/system.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 namespace
 {
@@ -42,14 +45,16 @@ struct Result
     std::uint64_t swapIns = 0;
     std::uint64_t swapOuts = 0;
     bool ok = true;
+    TraceCapture trace;
 };
 
 Result
-run(ShadowFreePolicy policy)
+run(ShadowFreePolicy policy, const TraceParams &trace)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
     p.shadowFree = policy;
+    p.trace = trace;
     p.swapEnabled = true;
     p.physFrames = 360; // pressure: homes + shadows exceed this
     p.l2Bytes = 16 * 1024;
@@ -99,6 +104,12 @@ run(ShadowFreePolicy policy)
 
     Result r;
     StatSnapshot s = sys.snapshot();
+    if (sys.tracer().active())
+        r.trace = captureTrace(sys.tracer(),
+                               std::string("shadow-free/") +
+                                   (policy == ShadowFreePolicy::MergeOnSwap
+                                        ? "merge-on-swap"
+                                        : "lazy-migrate"));
     r.cycles = Tick(s.value("sys.cycles"));
     r.shadowAllocs = s.counter("vts.shadow_allocs");
     r.shadowFrees = s.counter("vts.shadow_frees");
@@ -121,12 +132,14 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    TraceParams trace;
     OptionTable opts("bench_ablation_shadow_free",
                      "Shadow-page freeing policies under memory "
                      "pressure.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -136,9 +149,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     std::fprintf(hout, "Ablation C: shadow-page freeing policies under "
                 "memory pressure (Select-PTM, swap on)\n\n");
@@ -148,7 +165,9 @@ main(int argc, char **argv)
     BenchRecorder rec("ablation_shadow_free");
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
-        Result r = run(pol);
+        Result r = run(pol, trace);
+        if (!trace.path.empty())
+            captures.push_back(std::move(r.trace));
         const char *label = pol == ShadowFreePolicy::MergeOnSwap
                                 ? "merge-on-swap"
                                 : "lazy-migrate";
@@ -174,6 +193,17 @@ main(int argc, char **argv)
                      "bench_ablation_shadow_free: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_ablation_shadow_free: %s\n",
+                         err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
     std::fprintf(hout, "\n(LazyMigrate reclaims shadows through ordinary "
                 "write-backs; MergeOnSwap holds them until the OS "

@@ -19,11 +19,14 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 int
 main(int argc, char **argv)
@@ -31,12 +34,17 @@ main(int argc, char **argv)
     using namespace ptm;
 
     std::string json_path;
+    TraceParams trace;
+    int scale = 1;
     OptionTable opts("bench_fig4",
                      "Reproduce Figure 4: % speedup over "
                      "single-threaded execution.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -46,9 +54,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     const TmKind kinds[] = {TmKind::Locks, TmKind::Vtm, TmKind::VcVtm,
                             TmKind::CopyPtm, TmKind::SelectPtm};
@@ -64,13 +76,16 @@ main(int argc, char **argv)
     for (const auto &name : workloadNames()) {
         SystemParams sp;
         sp.tmKind = TmKind::Serial;
-        Tick serial = runWorkload(name, sp, 1, 4).cycles;
+        Tick serial = runWorkload(name, sp, scale, 4).cycles;
 
         std::vector<std::string> cells{name};
         for (unsigned k = 0; k < 5; ++k) {
             SystemParams prm;
             prm.tmKind = kinds[k];
-            ExperimentResult r = runWorkload(name, prm, 1, 4);
+            prm.trace = trace;
+            ExperimentResult r = runWorkload(name, prm, scale, 4);
+            if (!trace.path.empty())
+                captures.push_back(std::move(r.trace));
             double pct = speedupPct(serial, r.cycles);
             sums[k] += pct;
             all_ok = all_ok && r.verified;
@@ -103,6 +118,16 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_fig4: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_fig4: %s\n", err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
 
     std::fprintf(hout, "\nPaper's averages: locks +134%%, VC-VTM +72%%, "

@@ -21,12 +21,15 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/system.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 namespace
 {
@@ -79,12 +82,14 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    TraceParams trace;
     OptionTable opts("bench_fig5",
                      "Reproduce Figure 5: conflict detection at word "
                      "granularity.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -94,9 +99,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     std::fprintf(hout, "Figure 5: conflict detection at word granularity "
                 "(%% speedup over 1 thread)\n\n");
@@ -132,7 +141,10 @@ main(int argc, char **argv)
             SystemParams prm;
             prm.tmKind = TmKind::SelectPtm;
             prm.granularity = g;
+            prm.trace = trace;
             ExperimentResult r = runWorkload(name, prm, 1, 4);
+            if (!trace.path.empty())
+                captures.push_back(std::move(r.trace));
             all_ok = all_ok && r.verified;
             std::uint64_t aborts = r.snapshot.counter("tx.aborts");
             cells.push_back(cell("%+.0f%%",
@@ -169,6 +181,16 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_fig5: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_fig5: %s\n", err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
     std::fprintf(hout, "\n(blk-only: every co-writer conflicts; wd:cache: no "
                 "access conflicts but multi-writer evictions abort; "

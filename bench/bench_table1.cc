@@ -20,11 +20,14 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 namespace
 {
@@ -53,12 +56,14 @@ main(int argc, char **argv)
     using namespace ptm;
 
     std::string json_path;
+    TraceParams trace;
     OptionTable opts("bench_table1",
                      "Reproduce Table 1: transactional execution "
                      "behavior of the SPLASH-2 loop regions.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, trace);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -68,9 +73,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // JSON on stdout moves the human tables to stderr so the JSON
-    // stream stays parseable.
-    std::FILE *hout = json_path == "-" ? stderr : stdout;
+    // Machine-readable output on stdout moves the human tables and
+    // inform() status lines to stderr so the stream stays parseable.
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
 
     std::fprintf(hout, "Table 1: transactional execution behavior "
                 "(4p Select-PTM, OS noise on)\n\n");
@@ -83,7 +92,10 @@ main(int argc, char **argv)
     for (const auto &name : workloadNames()) {
         SystemParams prm;
         prm.tmKind = TmKind::SelectPtm;
+        prm.trace = trace;
         ExperimentResult r = runWorkload(name, prm, 1, 4);
+        if (!trace.path.empty())
+            captures.push_back(std::move(r.trace));
         const StatSnapshot &s = r.snapshot;
         std::uint64_t evictions = s.counter("mem.evictions");
         double mop = evictions
@@ -121,6 +133,16 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bench_table1: cannot write %s\n",
                      json_path.c_str());
         return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_table1: %s\n", err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
     }
 
     std::fprintf(hout, "\nPaper's Table 1 (for shape comparison):\n\n");

@@ -67,6 +67,8 @@ Core::preempt(ThreadCtx &t, Tick next_step_delay)
 {
     ++preemptions;
     ++os_.contextSwitches;
+    os_.tracer().record(TraceEventType::CtxSwitch, id_, t.id,
+                        invalidTxId, invalidTxId, 1);
     if (params_.flushOnContextSwitch && t.curTx != invalidTxId &&
         txmgr_.isLive(t.curTx)) {
         // VTM-style switch: the transaction's cached blocks must be
@@ -115,6 +117,8 @@ Core::step()
                            : maxTick;
         if (last_ && last_ != cur_) {
             ++os_.contextSwitches;
+            os_.tracer().record(TraceEventType::CtxSwitch, id_,
+                                cur_->id, invalidTxId, invalidTxId, 0);
             last_ = cur_;
             scheduleStep(params_.contextSwitchLatency);
             return;

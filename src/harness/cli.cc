@@ -72,6 +72,33 @@ parseU64(const std::string &s, std::uint64_t &out)
     return true;
 }
 
+/** Decimal or 0x-prefixed hexadecimal address. */
+bool
+parseAddr(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        std::uint64_t v = 0;
+        for (std::size_t i = 2; i < s.size(); ++i) {
+            char c = s[i];
+            unsigned d;
+            if (c >= '0' && c <= '9')
+                d = unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                d = unsigned(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                d = unsigned(c - 'A') + 10;
+            else
+                return false;
+            if (v > (UINT64_MAX - d) / 16)
+                return false;
+            v = v * 16 + d;
+        }
+        out = v;
+        return true;
+    }
+    return parseU64(s, out);
+}
+
 } // namespace
 
 void
@@ -156,6 +183,55 @@ OptionTable::printHelp() const
     }
     std::printf("  %-*s  %s\n", int(width), "--help",
                 "show this help and exit");
+}
+
+void
+addTraceOptions(OptionTable &opts, TraceParams &dest)
+{
+    opts.optionString("trace", "FILE",
+                      "write an event trace to FILE ('-' for stdout)",
+                      dest.path);
+    opts.option("trace-format", "FMT",
+                "trace format: jsonl (ptm-trace-v1) | chrome "
+                "(Perfetto)",
+                [&dest](const std::string &v) {
+                    return parseTraceFormat(v, dest.format);
+                });
+    opts.option("trace-categories", "LIST",
+                "comma-separated categories (tx,conflict,meta,page,"
+                "cache,os,watch,sample) or 'all'",
+                [&dest](const std::string &v) {
+                    return parseTraceCategories(v, dest.categories);
+                });
+    opts.option("trace-buffer-events", "N",
+                "per-run trace ring capacity in events (keeps the "
+                "newest N)",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0)
+                        return false;
+                    dest.bufferEvents = std::size_t(n);
+                    return true;
+                });
+    opts.option("trace-sample-interval", "TICKS",
+                "stat-sampler period in ticks (0 disables sampling)",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n))
+                        return false;
+                    dest.sampleInterval = Tick(n);
+                    return true;
+                });
+    opts.option("watch-addr", "ADDR",
+                "emit watchpoint events for this physical word "
+                "address (decimal or 0x hex)",
+                [&dest](const std::string &v) {
+                    std::uint64_t a;
+                    if (!parseAddr(v, a))
+                        return false;
+                    dest.watchAddr = Addr(a);
+                    return true;
+                });
 }
 
 CliStatus

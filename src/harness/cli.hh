@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/trace.hh"
+
 namespace ptm
 {
 
@@ -117,6 +119,14 @@ class OptionTable
     std::string summary_;
     std::vector<Opt> opts_;
 };
+
+/**
+ * Register the shared event-tracing options (--trace, --trace-format,
+ * --trace-categories, --trace-buffer-events, --trace-sample-interval,
+ * --watch-addr) storing into @p dest. Used by ptm_sim and every
+ * bench_* front end so the tracing surface is identical everywhere.
+ */
+void addTraceOptions(OptionTable &opts, TraceParams &dest);
 
 } // namespace ptm
 

@@ -33,6 +33,10 @@ runWorkload(const std::string &workload_name, SystemParams params,
     r.snapshot = sys.snapshot();
     r.stats = sys.stats();
     r.verified = wl->verify(sys);
+    if (sys.tracer().active())
+        r.trace = captureTrace(sys.tracer(),
+                               workload_name + "/" +
+                                   tmKindName(params.tmKind));
     if (!r.verified)
         warn("%s/%s produced a wrong result", workload_name.c_str(),
              tmKindName(params.tmKind));

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "harness/system.hh"
+#include "harness/trace_io.hh"
 #include "workloads/workload.hh"
 
 namespace ptm
@@ -31,6 +32,11 @@ struct ExperimentResult
     /** The workload's functional result matched the host reference. */
     bool verified = false;
     Tick cycles = 0;
+    /**
+     * The run's event-trace buffer (empty unless params.trace.path was
+     * set). Front ends collect these and write them with writeTrace().
+     */
+    TraceCapture trace;
 };
 
 /**

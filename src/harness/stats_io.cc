@@ -368,7 +368,7 @@ struct Parser
 bool
 parse(const std::string &text, Value &out, std::string *err)
 {
-    Parser p{text};
+    Parser p{text, 0, {}};
     if (!p.parseValue(out)) {
         if (err)
             *err = p.err;
@@ -459,6 +459,9 @@ emitStat(JsonWriter &w, const StatValue &v)
         w.member("mean", v.dist.mean());
         w.member("min", v.dist.samples ? v.dist.min : 0.0);
         w.member("max", v.dist.samples ? v.dist.max : 0.0);
+        w.member("p50", v.dist.percentile(50));
+        w.member("p95", v.dist.percentile(95));
+        w.member("p99", v.dist.percentile(99));
         w.member("bucket_lo", v.dist.lo);
         w.member("bucket_width", v.dist.width);
         w.member("underflow", v.dist.underflow);

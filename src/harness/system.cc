@@ -37,6 +37,20 @@ System::System(const SystemParams &params)
     }
     mem_.setBackend(backend_.get());
 
+    if (!params_.trace.path.empty()) {
+        tracer_.configure(params_.trace.categories,
+                          params_.trace.bufferEvents);
+        tracer_.setClock([this] { return eq_.curTick(); });
+        tracer_.setWatchAddr(params_.trace.watchAddr);
+        txmgr_.setTracer(&tracer_);
+        mem_.setTracer(&tracer_);
+        os_.setTracer(&tracer_);
+        if (vts_)
+            vts_->setTracer(&tracer_);
+        else if (auto *vtm = dynamic_cast<VtmController *>(backend_.get()))
+            vtm->setTracer(&tracer_);
+    }
+
     std::vector<Core *> core_ptrs;
     for (unsigned c = 0; c < params_.numCores; ++c) {
         cores_.push_back(std::make_unique<Core>(CoreId(c), params_, eq_,
@@ -161,9 +175,55 @@ System::addThread(ProcId proc, std::vector<Step> steps,
     return *threads_.back();
 }
 
+void
+System::startSampler()
+{
+    if (!tracer_.active() || !tracer_.enabled(TraceCat::Sample) ||
+        params_.trace.sampleInterval == 0)
+        return;
+    // Probe whichever of these registered stats exist in this system
+    // (the backend groups are configuration dependent).
+    static const char *const paths[] = {
+        "tx.commits",          "tx.aborts",
+        "mem.conflicts",       "mem.evictions",
+        "os.context_switches", "os.page_faults",
+        "vts.live_shadow_pages", "vts.shadow_allocs",
+        "vtm.xadt_entries",
+    };
+    sampled_.clear();
+    for (const char *path : paths) {
+        std::string p(path);
+        auto dot = p.find('.');
+        const StatGroup *g = registry_.find(p.substr(0, dot));
+        const StatRef *r = g ? g->find(p.substr(dot + 1)) : nullptr;
+        if (r)
+            sampled_.emplace_back(tracer_.sampleSeries(p), r);
+    }
+    if (!sampled_.empty())
+        scheduleSample();
+}
+
+void
+System::scheduleSample()
+{
+    eq_.scheduleIn(params_.trace.sampleInterval, EventPriority::Stats,
+                   [this] {
+                       for (const auto &[series, ref] : sampled_)
+                           tracer_.record(TraceEventType::CounterSample,
+                                          traceNoId, traceNoId,
+                                          invalidTxId, invalidTxId,
+                                          series, 0, ref->numeric());
+                       // Stop once the workload drained so the event
+                       // queue can run dry.
+                       if (os_.liveThreads() > 0)
+                           scheduleSample();
+                   });
+}
+
 Tick
 System::run()
 {
+    startSampler();
     os_.startTimers();
     os_.kickIdleCores();
     Tick limit = params_.maxTicks ? params_.maxTicks : maxTick;

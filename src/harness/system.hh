@@ -33,6 +33,7 @@
 #include "ptm/vts.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 #include "tx/tx_manager.hh"
 #include "vm/os_kernel.hh"
 
@@ -181,6 +182,14 @@ class System
     /** Print a "group.stat value" dump of the whole registry. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * The event tracer. Inactive (zero-cost recording) unless
+     * params.trace.path was set; front ends capture its buffer after
+     * run() via harness::captureTrace().
+     */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
     /** @name Component access (tests, benches) */
     /// @{
     EventQueue &eq() { return eq_; }
@@ -207,9 +216,12 @@ class System
     void wireHooks();
     void regStats();
     void unparkIfWaiting(ThreadCtx *t, ThreadState expected);
+    void startSampler();
+    void scheduleSample();
 
     SystemParams params_;
     StatRegistry registry_;
+    Tracer tracer_;
     EventQueue eq_;
     PhysMem phys_;
     FrameAllocator frames_;
@@ -221,6 +233,8 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<ThreadCtx>> threads_;
     bool hit_limit_ = false;
+    /** (tracer series index, registered stat) pairs for the sampler. */
+    std::vector<std::pair<unsigned, const StatRef *>> sampled_;
 };
 
 } // namespace ptm

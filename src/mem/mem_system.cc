@@ -237,7 +237,7 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
     //    speculative lines are scrubbed by the abort hook).
     if (!confl.empty()) {
         ++conflicts;
-        if (!txmgr_.resolveConflicts(acc.tx, confl)) {
+        if (!txmgr_.resolveConflicts(acc.tx, confl, block)) {
             cb(grant_tick + params_.busLatency, AccessResult{0, true});
             return;
         }
@@ -446,6 +446,8 @@ Tick
 MemSystem::writebackCommitted(CacheLine &line)
 {
     ++writebacks;
+    tracer_->record(TraceEventType::Writeback, traceNoId, traceNoId,
+                    invalidTxId, invalidTxId, line.addr);
     line.dirtyWords = 0;
     if (backend_)
         return backend_->writebackBlock(line.addr, line.data, 0xffff);
@@ -457,7 +459,6 @@ MemSystem::writebackCommitted(CacheLine &line)
 Tick
 MemSystem::evictLine(CoreId c, CacheLine &victim)
 {
-    (void)c;
     ++evictions;
     Tick lat = 0;
 
@@ -489,20 +490,24 @@ MemSystem::evictLine(CoreId c, CacheLine &victim)
         }
     }
 
-    if (blockAlign(debugWatchAddr) == victim.addr)
-        tracef(eq_.curTick(), "mem",
-               "EVICT-LINE state=%s val=%u marks=%zu dirtyW=%x",
-               moesiName(victim.state),
-               victim.readWord32(byteOff(debugWatchAddr)),
-               victim.marks.size(), victim.dirtyWords);
+    if (tracer_->watchingBlock(victim.addr))
+        tracer_->record(
+            TraceEventType::Watchpoint, c, traceNoId, invalidTxId,
+            invalidTxId, victim.addr,
+            std::uint64_t(WatchKind::Evict),
+            double(victim.readWord32(byteOff(tracer_->watchAddr()))));
     std::uint16_t spec_words = 0;
     std::vector<TxMark> live;
     for (const auto &m : victim.marks)
         if (txmgr_.isLive(m.tx))
             live.push_back(m);
+    tracer_->record(TraceEventType::LineEvict, c, traceNoId,
+                    invalidTxId, invalidTxId, victim.addr, live.size());
 
     for (const auto &m : live) {
         ++txEvictions;
+        tracer_->record(TraceEventType::OverflowSpill, c, traceNoId,
+                        m.tx, invalidTxId, victim.addr);
         if (backend_)
             lat += backend_->evictTxBlock(victim.addr, m.tx,
                                           m.writeWords != 0,
@@ -521,6 +526,8 @@ MemSystem::evictLine(CoreId c, CacheLine &victim)
                        : std::uint16_t(~spec_words);
         if (commit_words) {
             ++writebacks;
+            tracer_->record(TraceEventType::Writeback, c, traceNoId,
+                            invalidTxId, invalidTxId, victim.addr);
             if (backend_) {
                 lat += backend_->writebackBlock(victim.addr,
                                                 victim.data,
@@ -538,13 +545,15 @@ std::uint32_t
 MemSystem::applyOp(const Access &acc, CacheLine &line)
 {
     unsigned off = byteOff(acc.paddr);
-    if (acc.paddr == debugWatchAddr) {
-        tracef(eq_.curTick(), "mem",
-               "%s tx=%llu core=%u val=%u old=%u",
-               acc.isCas ? "CAS" : acc.isWrite ? "STORE" : "LOAD",
-               (unsigned long long)acc.tx, acc.core,
-               acc.isWrite || acc.isCas ? acc.storeValue : 0,
-               line.readWord32(off));
+    if (tracer_->watchingWord(wordAlign(acc.paddr))) {
+        WatchKind k = acc.isCas ? WatchKind::Cas
+                      : acc.isWrite ? WatchKind::Store
+                                    : WatchKind::Load;
+        double v = acc.isWrite || acc.isCas ? double(acc.storeValue)
+                                            : double(line.readWord32(off));
+        tracer_->record(TraceEventType::Watchpoint, acc.core,
+                        traceNoId, acc.tx, invalidTxId, acc.paddr,
+                        std::uint64_t(k), v);
     }
     if (acc.isCas) {
         std::uint32_t old = line.readWord32(off);
@@ -709,9 +718,11 @@ MemSystem::restoreWords(CacheLine &line, const TxMark &mark)
         std::uint32_t committed =
             backend_ ? backend_->readCommittedWord32(word_addr)
                      : phys_.readWord32(word_addr);
-        if (word_addr == debugWatchAddr)
-            tracef(eq_.curTick(), "mem", "RESTORE tx=%llu val=%u",
-                   (unsigned long long)mark.tx, committed);
+        if (tracer_->watchingWord(word_addr))
+            tracer_->record(TraceEventType::Watchpoint, traceNoId,
+                            traceNoId, mark.tx, invalidTxId, word_addr,
+                            std::uint64_t(WatchKind::Restore),
+                            double(committed));
         line.writeWord32(i * unsigned(wordBytes), committed);
     }
 }

@@ -85,6 +85,9 @@ class MemSystem
     /** Install the unbounded-TM backend (must outlive MemSystem). */
     void setBackend(TmBackend *backend) { backend_ = backend; }
 
+    /** Attach the event tracer (System wiring; defaults to nil). */
+    void setTracer(Tracer *t) { tracer_ = t; }
+
     /**
      * Attempt to complete @p acc without a bus transaction.
      * @return (latency, result) if it hit locally, std::nullopt if the
@@ -254,6 +257,7 @@ class MemSystem
     PhysMem &phys_;
     TxManager &txmgr_;
     TmBackend *backend_ = nullptr;
+    Tracer *tracer_ = &Tracer::nil();
 
     BusModel bus_;
     DramModel dram_;

@@ -144,6 +144,13 @@ Vts::sptLookupCost(PageNum home)
 {
     bool evicted_dirty = false;
     bool hit = sptCache.access(home, false, evicted_dirty);
+    tracer_->record(hit ? TraceEventType::SptHit
+                        : TraceEventType::SptMiss,
+                    traceNoId, traceNoId, invalidTxId, invalidTxId,
+                    home);
+    if (evicted_dirty)
+        tracer_->record(TraceEventType::SptEvict, traceNoId, traceNoId,
+                        invalidTxId, invalidTxId, home);
     Tick now = eq_.curTick();
     Tick done = now;
     if (!hit) {
@@ -176,6 +183,12 @@ Vts::tavLookupCost(PageNum home, TxId tx, bool mark_dirty)
     bool evicted_dirty = false;
     bool hit = tavCache.access(tavKey(home, tx), mark_dirty,
                                evicted_dirty);
+    tracer_->record(hit ? TraceEventType::TavHit
+                        : TraceEventType::TavMiss,
+                    traceNoId, traceNoId, tx, invalidTxId, home);
+    if (evicted_dirty)
+        tracer_->record(TraceEventType::TavEvict, traceNoId, traceNoId,
+                        tx, invalidTxId, home);
     Tick now = eq_.curTick();
     Tick done = now;
     if (!hit)
@@ -369,11 +382,11 @@ Vts::fillBlock(Addr block_addr, TxId requester, std::uint8_t *dst,
         Addr src = pageBase(pageOf(loc)) + block_off +
                    Addr(w) * wordBytes;
         std::uint32_t v = phys_.readWord32(src);
-        if (word_addr == debugWatchAddr)
-            tracef(eq_.curTick(), "vts",
-                   "FILL req=%llu val=%u spec=%d",
-                   (unsigned long long)requester, v,
-                   (int)(mine && mine->write.test(bit)));
+        if (tracer_->watchingWord(word_addr))
+            tracer_->record(TraceEventType::Watchpoint, traceNoId,
+                            traceNoId, requester, invalidTxId,
+                            word_addr,
+                            std::uint64_t(WatchKind::Fill), double(v));
         std::memcpy(dst + w * wordBytes, &v, wordBytes);
     }
     return extra;
@@ -418,6 +431,8 @@ Vts::ensureShadow(SptEntry &e)
     e.shadow = frames_.alloc();
     ++shadow_pages_;
     ++shadowAllocs;
+    tracer_->record(TraceEventType::ShadowAlloc, traceNoId, traceNoId,
+                    invalidTxId, invalidTxId, e.home, e.shadow);
 }
 
 void
@@ -425,6 +440,8 @@ Vts::freeShadow(SptEntry &e)
 {
     if (!e.hasShadow())
         return;
+    tracer_->record(TraceEventType::ShadowFree, traceNoId, traceNoId,
+                    invalidTxId, invalidTxId, e.home, e.shadow);
     phys_.releaseFrame(e.shadow);
     frames_.free(e.shadow);
     e.shadow = invalidPage;
@@ -547,12 +564,11 @@ Vts::evictTxBlock(Addr block_addr, TxId tx, bool dirty_spec,
                        Addr(w) * wordBytes;
             std::uint32_t v;
             std::memcpy(&v, data + w * wordBytes, wordBytes);
-            if (block_addr + Addr(w) * wordBytes == debugWatchAddr)
-                tracef(eq_.curTick(), "vts",
-                       "SPEC-DEPOSIT tx=%llu val=%u sel=%d dst=%llx",
-                       (unsigned long long)tx, v,
-                       (int)e.selection.test(bit),
-                       (unsigned long long)dst);
+            if (tracer_->watchingWord(word_addr))
+                tracer_->record(TraceEventType::Watchpoint, traceNoId,
+                                traceNoId, tx, invalidTxId, word_addr,
+                                std::uint64_t(WatchKind::SpecDeposit),
+                                double(v));
             phys_.writeWord32(dst, v);
         }
         // Posted block-sized memory write for the speculative data.
@@ -612,14 +628,18 @@ Vts::writebackBlock(Addr block_addr, const std::uint8_t *data,
         }
         std::uint32_t v;
         std::memcpy(&v, data + w * wordBytes, wordBytes);
-        if (block_addr + Addr(w) * wordBytes == debugWatchAddr)
-            tracef(eq_.curTick(), "vts", "CWB val=%u sel=%d", v,
-                   (int)e->selection.test(bit));
+        if (tracer_->watchingWord(word_addr))
+            tracer_->record(TraceEventType::Watchpoint, traceNoId,
+                            traceNoId, invalidTxId, invalidTxId,
+                            word_addr, std::uint64_t(WatchKind::Cwb),
+                            double(v));
         phys_.writeWord32(pageBase(pageOf(loc)) + block_off +
                               Addr(w) * wordBytes,
                           v);
     }
     if (toggled) {
+        tracer_->record(TraceEventType::SelFlip, traceNoId, traceNoId,
+                        invalidTxId, invalidTxId, page);
         bool evd = false;
         sptCache.access(page, true, evd);
         maybeFreeShadow(*e);
@@ -676,6 +696,9 @@ Vts::startCleanup(TxId tx, bool is_commit)
         job.nodes.push_back(t);
     overflowPagesPerTx.sample(double(job.nodes.size()));
     tavWalkLen.sample(double(job.nodes.size()));
+    tracer_->record(TraceEventType::WalkStart, traceNoId, traceNoId,
+                    tx, invalidTxId, is_commit ? 1 : 0,
+                    job.nodes.size());
     jobs_[tx] = std::move(job);
     cleanupStep(tx);
 }
@@ -710,6 +733,9 @@ Vts::cleanupStep(TxId tx)
             Distribution &lat = j.isCommit ? commitCleanupLatency
                                            : abortCleanupLatency;
             lat.sample(double(eq_.curTick() - j.startTick));
+            tracer_->record(TraceEventType::WalkEnd, traceNoId,
+                            traceNoId, tx, invalidTxId,
+                            j.isCommit ? 1 : 0, j.nodes.size());
             jobs_.erase(tx);
             Transaction *txn = txmgr_.get(tx);
             if (txn && txn->overflowed) {
@@ -735,12 +761,17 @@ Vts::processNode(CleanupJob &job, TavNode *node)
             // Toggle the written units: the speculative location
             // becomes the committed one.
             e.selection ^= node->write;
-            if (pageOf(debugWatchAddr) == e.home &&
-                node->write.test(gran_.wordBit(debugWatchAddr)))
-                tracef(eq_.curTick(), "vts", "TOGGLE tx=%llu sel=%d",
-                       (unsigned long long)node->tx,
-                       (int)e.selection.test(
-                           gran_.wordBit(debugWatchAddr)));
+            tracer_->record(TraceEventType::SelFlip, traceNoId,
+                            traceNoId, node->tx, invalidTxId, e.home,
+                            node->write.count());
+            Addr wa = tracer_->watchAddr();
+            if (wa != invalidAddr && pageOf(wa) == e.home &&
+                node->write.test(gran_.wordBit(wa)))
+                tracer_->record(
+                    TraceEventType::Watchpoint, traceNoId, traceNoId,
+                    node->tx, invalidTxId, wa,
+                    std::uint64_t(WatchKind::Toggle),
+                    double(e.selection.test(gran_.wordBit(wa))));
             // No cached copy can hold a stale committed value here:
             // any copy either predates the writer's exclusive grab
             // (invalidated then), carries the writer's mark with the

@@ -110,6 +110,9 @@ class Vts : public TmBackend
     /** Register the VTS statistics under the "vts" group. */
     void regStats(StatRegistry &reg) override;
 
+    /** Attach the event tracer (System wiring; defaults to nil). */
+    void setTracer(Tracer *t) { tracer_ = t; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -237,6 +240,7 @@ class Vts : public TmBackend
     TxManager &txmgr_;
     FrameAllocator &frames_;
     DramModel &dram_;
+    Tracer *tracer_ = &Tracer::nil();
     PageGran gran_;
     bool select_;
 

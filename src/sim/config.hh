@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace ptm
@@ -189,6 +190,9 @@ struct SystemParams
      * PTM's transaction-ID-tagged lines that stay put (section 4.7).
      */
     bool flushOnContextSwitch = false;
+
+    /** Event tracing (off unless trace.path is set). */
+    TraceParams trace;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -12,12 +12,10 @@
 namespace ptm
 {
 
-unsigned long long debugWatchAddr = ~0ull;
-
 namespace
 {
 
-bool trace_on = false;
+bool inform_to_stderr = false;
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -78,31 +76,14 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
-}
-
-bool
-traceEnabled()
-{
-    return trace_on;
+    std::fprintf(inform_to_stderr ? stderr : stdout, "info: %s\n",
+                 msg.c_str());
 }
 
 void
-setTraceEnabled(bool on)
+setInformToStderr(bool on)
 {
-    trace_on = on;
-}
-
-void
-tracef(unsigned long long tick, const char *who, const char *fmt, ...)
-{
-    if (!trace_on)
-        return;
-    va_list ap;
-    va_start(ap, fmt);
-    std::string msg = vstrprintf(fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, "%12llu: %s: %s\n", tick, who, msg.c_str());
+    inform_to_stderr = on;
 }
 
 std::string

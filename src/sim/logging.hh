@@ -33,24 +33,15 @@ namespace ptm
 /** Non-fatal warning to stderr. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Informational message to stdout. */
+/** Informational message (stdout unless redirected, see below). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Whether debug tracing (tracef) is enabled globally. */
-bool traceEnabled();
-
-/** Globally enable or disable debug tracing. */
-void setTraceEnabled(bool on);
-
 /**
- * Debug trace line, printed only when tracing is enabled. Each line is
- * prefixed with the current simulated tick supplied by the caller.
+ * Route inform() to stderr instead of stdout. Tools that stream
+ * machine-readable rows on stdout (bench --json -) use this to keep
+ * stdout strictly one-JSON-object-per-line.
  */
-void tracef(unsigned long long tick, const char *who, const char *fmt, ...)
-    __attribute__((format(printf, 3, 4)));
-
-/** Debug: watch one simulated physical word address (tracing aid). */
-extern unsigned long long debugWatchAddr;
+void setInformToStderr(bool on);
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)

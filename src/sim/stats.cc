@@ -54,6 +54,61 @@ Distribution::reset()
     sum_ = min_ = max_ = 0;
 }
 
+namespace
+{
+
+/**
+ * Shared percentile estimate over a fixed-bucket histogram. The rank
+ * is located in the cumulative counts and interpolated linearly
+ * within its bucket; ranks landing in the underflow (overflow) bin
+ * resolve to the exact min (max), and the result is clamped to
+ * [min, max] so a sparse bucket cannot extrapolate past the data.
+ */
+double
+histPercentile(double p, const std::vector<std::uint64_t> &counts,
+               std::uint64_t underflow, std::uint64_t samples,
+               double lo, double width, double mn, double mx)
+{
+    if (!samples)
+        return 0.0;
+    if (p <= 0.0)
+        return mn;
+    if (p >= 100.0)
+        return mx;
+    double rank = std::ceil(p / 100.0 * double(samples));
+    if (rank < 1.0)
+        rank = 1.0;
+    if (rank <= double(underflow))
+        return mn;
+    double cum = double(underflow);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        double c = double(counts[i]);
+        if (c > 0 && rank <= cum + c) {
+            double frac = (rank - cum) / c;
+            double v = lo + (double(i) + frac) * width;
+            return std::min(std::max(v, mn), mx);
+        }
+        cum += c;
+    }
+    return mx; // rank fell in the overflow bin
+}
+
+} // namespace
+
+double
+Distribution::percentile(double p) const
+{
+    return histPercentile(p, counts_, underflow_, samples_, lo_,
+                          width_, min(), max());
+}
+
+double
+DistSnapshot::percentile(double p) const
+{
+    return histPercentile(p, counts, underflow, samples, lo, width,
+                          min, max);
+}
+
 const char *
 statKindName(StatKind k)
 {

@@ -163,6 +163,14 @@ class Distribution
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Estimate the @p p-th percentile (0..100) by linear
+     * interpolation within the bucket holding that rank, clamped to
+     * [min(), max()]. Underflow ranks resolve to min(), overflow
+     * ranks to max(); 0 when empty.
+     */
+    double percentile(double p) const;
+
     void reset();
 
   private:
@@ -298,6 +306,9 @@ struct DistSnapshot
     double max = 0;
 
     double mean() const { return samples ? sum / double(samples) : 0.0; }
+
+    /** Percentile estimate; see Distribution::percentile. */
+    double percentile(double p) const;
 };
 
 /** Value-copy of one registered statistic. */

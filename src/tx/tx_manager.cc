@@ -84,6 +84,8 @@ TxManager::begin(ThreadId thread, ProcId proc, Tick now, bool ordered,
     table_[id] = tx;
     active_by_thread_[thread] = id;
     ++live_count_;
+    tracer_->recordAt(now, TraceEventType::TxBegin, traceNoId, thread,
+                      id, invalidTxId, 1, ordered ? 1 : 0);
     return id;
 }
 
@@ -103,6 +105,8 @@ TxManager::restart(TxId id, Tick now)
     ++tx->attempts;
     active_by_thread_[tx->thread] = id;
     ++live_count_;
+    tracer_->recordAt(now, TraceEventType::TxRestart, traceNoId,
+                      tx->thread, id, invalidTxId, tx->attempts);
 }
 
 CommitResult
@@ -139,6 +143,8 @@ TxManager::doLogicalCommit(Transaction &tx)
     active_by_thread_.erase(tx.thread);
     --live_count_;
     ++commits;
+    tracer_->record(TraceEventType::TxCommit, traceNoId, tx.thread,
+                    tx.id);
 
     if (onLogicalCommit)
         onLogicalCommit(tx.id);
@@ -194,6 +200,8 @@ TxManager::abort(TxId id, AbortReason why)
         ++abortsExplicit;
         break;
     }
+    tracer_->record(TraceEventType::TxAbort, traceNoId, tx->thread, id,
+                    invalidTxId, std::uint64_t(why));
 
     if (tx->ordered) {
         OrderedScope &sc = scopes_[tx->scope];
@@ -232,13 +240,26 @@ TxManager::cleanupDone(TxId id)
 
 bool
 TxManager::resolveConflicts(TxId requester,
-                            const std::vector<TxId> &conflicting)
+                            const std::vector<TxId> &conflicting,
+                            Addr where)
 {
+    // Record a winner->loser edge; must run before abort(loser) so
+    // the loser's thread is still resolvable.
+    auto edge = [&](TxId winner, ThreadId wthread, TxId loser) {
+        const Transaction *ltx = get(loser);
+        tracer_->record(TraceEventType::ConflictEdge, traceNoId,
+                        wthread, winner, loser, where,
+                        ltx ? ltx->thread : traceNoId);
+    };
+
     // Non-transactional accesses always win (section 2.3.3).
     if (requester == invalidTxId) {
-        for (TxId c : conflicting)
-            if (isLive(c))
+        for (TxId c : conflicting) {
+            if (isLive(c)) {
+                edge(invalidTxId, traceNoId, c);
                 abort(c, AbortReason::NonTxConflict);
+            }
+        }
         return true;
     }
 
@@ -248,21 +269,28 @@ TxManager::resolveConflicts(TxId requester,
              (unsigned long long)requester);
 
     std::uint64_t min_age = req->age;
+    TxId oldest = requester;
     for (TxId c : conflicting) {
         const Transaction *tx = get(c);
-        if (tx && tx->live() && tx->age < min_age)
+        if (tx && tx->live() && tx->age < min_age) {
             min_age = tx->age;
+            oldest = c;
+        }
     }
 
     if (min_age == req->age) {
         // Requester is the oldest: abort every live contender.
         for (TxId c : conflicting) {
-            if (c != requester && isLive(c))
+            if (c != requester && isLive(c)) {
+                edge(requester, req->thread, c);
                 abort(c, AbortReason::ConflictLost);
+            }
         }
         return true;
     }
 
+    const Transaction *win = get(oldest);
+    edge(oldest, win ? win->thread : traceNoId, requester);
     abort(requester, AbortReason::ConflictLost);
     return false;
 }

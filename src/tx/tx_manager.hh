@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 #include "tx/transaction.hh"
 
@@ -131,11 +132,16 @@ class TxManager
      * non-transactional requester (@p requester == invalidTxId) always
      * wins (section 2.3.3).
      *
+     * Emits one winner->loser ConflictEdge trace event per aborted
+     * contender; @p where (the conflicting block address, 0 if
+     * unknown) is carried in the edge payload.
+     *
      * @return true if the requester survives (won or tied), false if
      *         the requester itself was aborted.
      */
     bool resolveConflicts(TxId requester,
-                          const std::vector<TxId> &conflicting);
+                          const std::vector<TxId> &conflicting,
+                          Addr where = 0);
 
     /** Create an ordered scope; commits inside it occur in rank order. */
     std::uint32_t createOrderedScope();
@@ -159,6 +165,9 @@ class TxManager
 
     /** Register this component's statistics under "tx". */
     void regStats(StatRegistry &reg);
+
+    /** Attach the event tracer (System wiring; defaults to nil). */
+    void setTracer(Tracer *t) { tracer_ = t; }
 
     /** @name Statistics */
     /// @{
@@ -185,6 +194,7 @@ class TxManager
 
     void doLogicalCommit(Transaction &tx);
 
+    Tracer *tracer_ = &Tracer::nil();
     std::unordered_map<TxId, Transaction> table_;
     std::unordered_map<ThreadId, TxId> active_by_thread_;
     std::vector<OrderedScope> scopes_;

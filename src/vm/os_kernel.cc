@@ -129,6 +129,8 @@ OsKernel::handleFault(ProcId proc, PageNum vpage, PageMapping &m)
 {
     ++exceptions;
     ++pageFaults;
+    tracer_->record(TraceEventType::PageFault, traceNoId, traceNoId,
+                    invalidTxId, invalidTxId, vpage, proc);
     Tick lat = params_.pageFaultLatency;
     lat += reclaimFrames();
 
@@ -137,6 +139,8 @@ OsKernel::handleFault(ProcId proc, PageNum vpage, PageMapping &m)
         ++swapIns;
         lat += params_.swapLatency;
         m.frame = frames_.alloc();
+        tracer_->record(TraceEventType::SwapIn, traceNoId, traceNoId,
+                        invalidTxId, invalidTxId, m.swapSlot, m.frame);
         auto it = swap_data_.find(m.swapSlot);
         panic_if(it == swap_data_.end(), "missing swap data");
         for (unsigned b = 0; b < blocksPerPage; ++b)
@@ -201,6 +205,8 @@ OsKernel::swapOutOne()
         ++swapOuts;
         lat += params_.swapLatency;
         std::uint64_t slot = next_swap_slot_++;
+        tracer_->record(TraceEventType::SwapOut, traceNoId, traceNoId,
+                        invalidTxId, invalidTxId, m.frame, slot);
         if (backend_)
             backend_->pageSwapOut(m.frame, slot);
 

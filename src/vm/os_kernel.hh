@@ -147,6 +147,12 @@ class OsKernel
     /** Register this component's statistics under "os". */
     void regStats(StatRegistry &reg);
 
+    /** Attach the event tracer (System wiring; defaults to nil). */
+    void setTracer(Tracer *t) { tracer_ = t; }
+
+    /** The attached tracer (Core records its scheduling events). */
+    Tracer &tracer() { return *tracer_; }
+
     /** @name Statistics */
     /// @{
     Counter exceptions;      //!< software faults taken (Table 1)
@@ -215,6 +221,7 @@ class OsKernel
     FrameAllocator &frames_;
     MemSystem *mem_ = nullptr;
     TmBackend *backend_ = nullptr;
+    Tracer *tracer_ = &Tracer::nil();
     std::vector<Core *> cores_;
     std::vector<std::unique_ptr<Tlb>> tlbs_;
 

@@ -311,6 +311,8 @@ VtmController::startCleanup(TxId tx, bool is_commit)
         return;
     }
     xadtWalkLen.sample(double(blocks.size()));
+    tracer_->record(TraceEventType::WalkStart, traceNoId, traceNoId,
+                    tx, invalidTxId, is_commit ? 1 : 0, blocks.size());
 
     CleanupJob job;
     job.isCommit = is_commit;
@@ -336,6 +338,8 @@ VtmController::startCleanup(TxId tx, bool is_commit)
         if (blocks.empty()) {
             // Every block was VC-resident: the commit is instant.
             commitCleanupLatency.sample(0);
+            tracer_->record(TraceEventType::WalkEnd, traceNoId,
+                            traceNoId, tx, invalidTxId, 1, 0);
             finishCleanupNow(tx);
             return;
         }
@@ -400,6 +404,9 @@ VtmController::cleanupStep(TxId tx)
             Distribution &lat = j.isCommit ? commitCleanupLatency
                                            : abortCleanupLatency;
             lat.sample(double(eq_.curTick() - j.startTick));
+            tracer_->record(TraceEventType::WalkEnd, traceNoId,
+                            traceNoId, tx, invalidTxId,
+                            j.isCommit ? 1 : 0, j.blocks.size());
             jobs_.erase(tx);
             finishCleanupNow(tx);
         } else {

@@ -98,6 +98,9 @@ class VtmController : public TmBackend
     /** Register the VTM statistics under the "vtm" group. */
     void regStats(StatRegistry &reg) override;
 
+    /** Attach the event tracer (System wiring; defaults to nil). */
+    void setTracer(Tracer *t) { tracer_ = t; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -181,6 +184,7 @@ class VtmController : public TmBackend
     PhysMem &phys_;
     TxManager &txmgr_;
     DramModel &dram_;
+    Tracer *tracer_ = &Tracer::nil();
     bool vc_enabled_;
 
     XFilter xf_;

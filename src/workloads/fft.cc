@@ -58,7 +58,7 @@ class FftWorkload : public Workload
                                     cfg_.seed * 3 + 1));
                     }
             }});
-            steps.push_back(BarrierStep{barrier_});
+            pushBarrier(steps, barrier_);
 
             for (unsigned r = 0; r < rounds_; ++r) {
                 // Butterfly half-phase: row-local, conflict-free.
@@ -81,7 +81,7 @@ class FftWorkload : public Workload
                             }
                         }
                     }));
-                steps.push_back(BarrierStep{barrier_});
+                pushBarrier(steps, barrier_);
 
                 // Transpose half-phase: writes columns of A; the
                 // final checksum store races with the other threads'
@@ -107,7 +107,7 @@ class FftWorkload : public Workload
                         if (cfg_.mode == SyncMode::Locks)
                             co_await spinUnlock(m, ckLock());
                     }));
-                steps.push_back(BarrierStep{barrier_});
+                pushBarrier(steps, barrier_);
             }
             sys.addThread(proc_, std::move(steps), "fft");
         }

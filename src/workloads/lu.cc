@@ -50,7 +50,7 @@ class LuWorkload : public Workload
                                 mixHash(std::uint64_t(i) * n_ + j +
                                         cfg_.seed * 77));
                 }});
-            steps[t].push_back(BarrierStep{barrier_});
+            pushBarrier(steps[t], barrier_);
         }
 
         for (unsigned k = 0; k < nblocks_; ++k) {
@@ -60,7 +60,7 @@ class LuWorkload : public Workload
                     co_await factorDiag(m, k);
                 }));
             for (unsigned t = 0; t < cfg_.threads; ++t)
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
 
             // Perimeter updates.
             unsigned rr = 0;
@@ -75,7 +75,7 @@ class LuWorkload : public Workload
                     }));
             }
             for (unsigned t = 0; t < cfg_.threads; ++t)
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
 
             // Interior updates (the bulk of the transactions).
             rr = 0;
@@ -88,7 +88,7 @@ class LuWorkload : public Workload
                 }
             }
             for (unsigned t = 0; t < cfg_.threads; ++t)
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
         }
 
         for (unsigned t = 0; t < cfg_.threads; ++t)

@@ -69,7 +69,7 @@ class OceanWorkload : public Workload
                         }
                     }
                 }});
-            steps[t].push_back(BarrierStep{barrier_});
+            pushBarrier(steps[t], barrier_);
         }
 
         // Bands are separated by one static "ghost" row (the classic
@@ -110,12 +110,12 @@ class OceanWorkload : public Workload
                 if (cfg_.mode != SyncMode::Tx) {
                     // Data-race freedom via a barrier per colour.
                     for (unsigned t = 0; t < T; ++t)
-                        steps[t].push_back(BarrierStep{barrier_});
+                        pushBarrier(steps[t], barrier_);
                 }
             }
             // Iterations are separated by a barrier in all modes.
             for (unsigned t = 0; t < T; ++t)
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
         }
 
         for (unsigned t = 0; t < T; ++t)

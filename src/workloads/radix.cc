@@ -52,7 +52,7 @@ class RadixWorkload : public Workload
                     for (unsigned i = k0; i < k1; ++i)
                         co_await m.store(src(i), key(i));
                 }});
-            steps[t].push_back(BarrierStep{barrier_});
+            pushBarrier(steps[t], barrier_);
         }
 
         for (unsigned pass = 0; pass < passes_; ++pass) {
@@ -76,7 +76,7 @@ class RadixWorkload : public Workload
                                          std::uint32_t(c + 1));
                     }
                 }));
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
 
                 // Global rank computation: serialized on thread 0
                 // (locked in Locks mode, one transaction in Tx mode).
@@ -104,7 +104,7 @@ class RadixWorkload : public Workload
                         steps[t].push_back(work(rank_body));
                     }
                 }
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
 
                 // Permutation: one transaction per thread and pass;
                 // their scattered writes interleave with the other
@@ -140,7 +140,7 @@ class RadixWorkload : public Workload
                         }
                     }));
                 }
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
             }
         }
 

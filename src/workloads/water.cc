@@ -58,7 +58,7 @@ class WaterWorkload : public Workload
                             co_await m.store(aux(a, i), 0);
                     }
                 }});
-            steps[t].push_back(BarrierStep{barrier_});
+            pushBarrier(steps[t], barrier_);
         }
 
         for (unsigned ts = 0; ts < timesteps_; ++ts) {
@@ -81,7 +81,7 @@ class WaterWorkload : public Workload
                     }
                 }
                 // Wait for all force contributions, then integrate.
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
                 steps[t].push_back(
                     work([this, m0, m1](MemCtx m) -> TxCoro {
                         for (unsigned i = m0; i < m1; ++i) {
@@ -104,7 +104,7 @@ class WaterWorkload : public Workload
                             }
                         }
                     }));
-                steps[t].push_back(BarrierStep{barrier_});
+                pushBarrier(steps[t], barrier_);
             }
         }
 

@@ -16,6 +16,20 @@ std::unique_ptr<Workload> makeRadix(const WorkloadConfig &cfg);
 std::unique_ptr<Workload> makeOcean(const WorkloadConfig &cfg);
 std::unique_ptr<Workload> makeWater(const WorkloadConfig &cfg);
 
+// GCC 12's -Wmaybe-uninitialized fires spuriously on the std::function
+// inside the Step variant whenever vector growth relocates elements
+// (the moved-from storage is value-initialized by the variant move
+// constructor; see GCC PR 105562). Funnelling every barrier push
+// through this helper confines the suppression to one function.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+void
+pushBarrier(std::vector<Step> &steps, unsigned barrier_id)
+{
+    steps.push_back(BarrierStep{barrier_id});
+}
+#pragma GCC diagnostic pop
+
 SyncMode
 syncModeFor(TmKind kind)
 {

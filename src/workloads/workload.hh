@@ -112,6 +112,14 @@ class Workload
     WorkloadConfig cfg_;
 };
 
+/**
+ * Append a barrier step to @p steps. Out of line on purpose: pushing
+ * the BarrierStep temporary straight into the Step variant vector
+ * makes GCC 12 emit spurious -Wmaybe-uninitialized warnings about the
+ * TxStep alternative's std::function storage.
+ */
+void pushBarrier(std::vector<Step> &steps, unsigned barrier_id);
+
 /** Deterministic value hash used for workload initialization. */
 inline std::uint32_t
 mixHash(std::uint64_t x)

@@ -104,6 +104,63 @@ TEST(DistributionStat, WeightedSamples)
     EXPECT_DOUBLE_EQ(d.mean(), 3.0);
 }
 
+TEST(DistributionStat, PercentileEmptyAndSingle)
+{
+    Distribution d(0, 100, 10);
+    EXPECT_EQ(d.percentile(50), 0.0);
+    d.sample(35);
+    // One sample: every percentile is that sample (clamped to
+    // [min, max], which collapses to a point).
+    EXPECT_DOUBLE_EQ(d.percentile(1), 35.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 35.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 35.0);
+}
+
+TEST(DistributionStat, PercentileUniform)
+{
+    Distribution d(0, 100, 10);
+    for (int v = 0; v < 100; ++v)
+        d.sample(v + 0.5);
+    EXPECT_NEAR(d.percentile(50), 50.0, 1.0);
+    EXPECT_NEAR(d.percentile(95), 95.0, 1.0);
+    EXPECT_NEAR(d.percentile(99), 99.0, 1.0);
+    EXPECT_LE(d.percentile(50), d.percentile(95));
+    EXPECT_LE(d.percentile(95), d.percentile(99));
+    // The extremes clamp to the exact sample bounds.
+    EXPECT_DOUBLE_EQ(d.percentile(0), d.min());
+    EXPECT_DOUBLE_EQ(d.percentile(100), d.max());
+}
+
+TEST(DistributionStat, PercentileUnderOverflow)
+{
+    Distribution d(10, 20, 10);
+    d.sample(5);      // underflow
+    d.sample(15);     // bucket [15,16)
+    d.sample(100, 2); // overflow
+    // Rank 1 lands in the underflow bin -> exact min.
+    EXPECT_DOUBLE_EQ(d.percentile(10), 5.0);
+    // Ranks past the buckets land in the overflow bin -> exact max.
+    EXPECT_DOUBLE_EQ(d.percentile(99), 100.0);
+    // Rank 2 interpolates inside [15,16).
+    double p50 = d.percentile(50);
+    EXPECT_GE(p50, 15.0);
+    EXPECT_LE(p50, 16.0);
+}
+
+TEST(DistributionStat, PercentileMatchesSnapshot)
+{
+    StatRegistry reg;
+    Distribution d(0, 50, 5);
+    for (int v : {1, 7, 23, 23, 48, 60})
+        d.sample(v);
+    reg.addGroup("g").addDistribution("d", &d);
+    StatSnapshot snap(reg);
+    const StatValue *sv = snap.find("g.d");
+    ASSERT_NE(sv, nullptr);
+    for (double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(sv->dist.percentile(p), d.percentile(p));
+}
+
 TEST(StatGroupTest, RegistrationAndEnumeration)
 {
     Counter c;
@@ -274,6 +331,9 @@ TEST(StatsIoTest, RunJsonRoundTrip)
     EXPECT_DOUBLE_EQ(dist->get("overflow")->number, 2);
     EXPECT_DOUBLE_EQ(dist->get("min")->number, -5);
     EXPECT_DOUBLE_EQ(dist->get("max")->number, 250);
+    EXPECT_DOUBLE_EQ(dist->get("p50")->number, d.percentile(50));
+    EXPECT_DOUBLE_EQ(dist->get("p95")->number, d.percentile(95));
+    EXPECT_DOUBLE_EQ(dist->get("p99")->number, d.percentile(99));
     ASSERT_EQ(dist->get("counts")->array.size(), 4u);
     EXPECT_DOUBLE_EQ(dist->get("counts")->array[0].number, 1);
 }

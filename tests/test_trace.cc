@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the event tracer (sim/trace) and its sinks
+ * (harness/trace_io): ring-buffer wraparound, category filtering,
+ * lazy payload suppression, watchpoint address matching, tick order
+ * of real captures, and Chrome-export slice balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/trace.hh"
+
+namespace ptm
+{
+namespace
+{
+
+TEST(TracerTest, InactiveByDefault)
+{
+    Tracer t;
+    EXPECT_FALSE(t.active());
+    t.record(TraceEventType::TxBegin, 0, 0, 1);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(TracerTest, NilIsNeverEnabled)
+{
+    Tracer &n = Tracer::nil();
+    EXPECT_FALSE(n.active());
+    for (unsigned c = 0; c < 8; ++c)
+        EXPECT_FALSE(n.enabled(TraceCat(1u << c)));
+}
+
+TEST(TracerTest, RingKeepsNewestAndCountsDrops)
+{
+    Tracer t;
+    t.configure(traceCatAll, 8);
+    for (Tick i = 0; i < 20; ++i)
+        t.recordAt(i, TraceEventType::Writeback, 0, 0, invalidTxId,
+                   invalidTxId, i);
+    EXPECT_EQ(t.recorded(), 20u);
+    EXPECT_EQ(t.dropped(), 12u);
+    std::vector<TraceEvent> ev = t.snapshot();
+    ASSERT_EQ(ev.size(), 8u);
+    // Oldest first, and only the newest 8 events survive.
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+        EXPECT_EQ(ev[i].tick, Tick(12 + i));
+        EXPECT_EQ(ev[i].a0, 12 + i);
+    }
+}
+
+TEST(TracerTest, CategoryMaskFilters)
+{
+    Tracer t;
+    t.configure(traceCatMask(TraceCat::Tx), 64);
+    EXPECT_TRUE(t.enabled(TraceCat::Tx));
+    EXPECT_FALSE(t.enabled(TraceCat::Cache));
+    t.record(TraceEventType::TxBegin, 0, 0, 1);
+    t.record(TraceEventType::Writeback); // cache: filtered
+    t.record(TraceEventType::CtxSwitch); // os: filtered
+    EXPECT_EQ(t.recorded(), 1u);
+    ASSERT_EQ(t.snapshot().size(), 1u);
+    EXPECT_EQ(t.snapshot()[0].type, TraceEventType::TxBegin);
+}
+
+TEST(TracerTest, LazyRecordSkipsPayloadWhenDisabled)
+{
+    Tracer t;
+    t.configure(traceCatMask(TraceCat::Tx), 64);
+    unsigned built = 0;
+    auto build = [&built] {
+        ++built;
+        TraceEvent e;
+        e.type = TraceEventType::Watchpoint;
+        return e;
+    };
+    t.lazyRecord(TraceCat::Watch, build);
+    EXPECT_EQ(built, 0u); // disabled category: payload never built
+    t.lazyRecord(TraceCat::Tx, build);
+    EXPECT_EQ(built, 1u);
+    EXPECT_EQ(t.recorded(), 1u);
+}
+
+TEST(TracerTest, ClockStampsRecords)
+{
+    Tracer t;
+    t.configure(traceCatAll, 8);
+    Tick now = 42;
+    t.setClock([&now] { return now; });
+    t.record(TraceEventType::TxBegin, 0, 0, 1);
+    now = 99;
+    t.record(TraceEventType::TxCommit, 0, 0, 1);
+    auto ev = t.snapshot();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].tick, 42u);
+    EXPECT_EQ(ev[1].tick, 99u);
+}
+
+TEST(TracerTest, WatchAddrMatchesBlockAndWord)
+{
+    Tracer t;
+    t.setWatchAddr(0x1234);
+    EXPECT_TRUE(t.watchingBlock(blockAlign(0x1234)));
+    EXPECT_FALSE(t.watchingBlock(blockAlign(0x1234) + blockBytes));
+    EXPECT_TRUE(t.watchingWord(wordAlign(0x1234)));
+    EXPECT_FALSE(t.watchingWord(wordAlign(0x1234) + wordBytes));
+    Tracer off;
+    EXPECT_FALSE(off.watchingBlock(blockAlign(0x1234)));
+}
+
+TEST(TracerTest, SeriesInterning)
+{
+    Tracer t;
+    EXPECT_EQ(t.sampleSeries("tx.commits"), 0u);
+    EXPECT_EQ(t.sampleSeries("tx.aborts"), 1u);
+    EXPECT_EQ(t.sampleSeries("tx.commits"), 0u); // idempotent
+    ASSERT_EQ(t.seriesNames().size(), 2u);
+    EXPECT_EQ(t.seriesNames()[0], "tx.commits");
+}
+
+TEST(TraceCategoriesParse, ListsAndAll)
+{
+    std::uint32_t mask = 0;
+    ASSERT_TRUE(parseTraceCategories("all", mask));
+    EXPECT_EQ(mask, traceCatAll);
+    ASSERT_TRUE(parseTraceCategories("tx,conflict", mask));
+    EXPECT_EQ(mask, traceCatMask(TraceCat::Tx) |
+                        traceCatMask(TraceCat::Conflict));
+    EXPECT_FALSE(parseTraceCategories("tx,bogus", mask));
+}
+
+/** Run a small traced workload and capture its events. */
+TraceCapture
+tracedRun(std::uint32_t categories)
+{
+    SystemParams prm;
+    prm.tmKind = TmKind::SelectPtm;
+    prm.trace.path = "unused"; // non-empty enables wiring
+    prm.trace.categories = categories;
+    ExperimentResult r = runWorkload("fft", prm, 0, 4);
+    EXPECT_TRUE(r.verified);
+    return r.trace;
+}
+
+TEST(TraceIntegration, TicksNondecreasingPerCore)
+{
+    TraceCapture cap = tracedRun(traceCatAll);
+    ASSERT_FALSE(cap.events.empty());
+    std::map<std::uint32_t, Tick> last;
+    for (const TraceEvent &e : cap.events) {
+        auto it = last.find(e.core);
+        if (it != last.end()) {
+            EXPECT_GE(e.tick, it->second)
+                << "tick went backwards on core " << e.core;
+        }
+        last[e.core] = e.tick;
+    }
+    // The whole ring is globally tick-ordered too: events are pushed
+    // from a single discrete-event loop.
+    for (std::size_t i = 1; i < cap.events.size(); ++i)
+        EXPECT_GE(cap.events[i].tick, cap.events[i - 1].tick);
+}
+
+TEST(TraceIntegration, LifecycleEventsComeInPairs)
+{
+    TraceCapture cap = tracedRun(traceCatMask(TraceCat::Tx));
+    std::uint64_t begins = 0, restarts = 0, commits = 0, aborts = 0;
+    for (const TraceEvent &e : cap.events) {
+        switch (e.type) {
+          case TraceEventType::TxBegin: ++begins; break;
+          case TraceEventType::TxRestart: ++restarts; break;
+          case TraceEventType::TxCommit: ++commits; break;
+          case TraceEventType::TxAbort: ++aborts; break;
+          default:
+            ADD_FAILURE() << "non-tx event leaked through the mask";
+        }
+    }
+    EXPECT_GT(begins, 0u);
+    // Nothing rotated out of the ring in a tiny run, so every attempt
+    // (begin or restart) has exactly one closing commit or abort.
+    EXPECT_EQ(cap.dropped, 0u);
+    EXPECT_EQ(begins + restarts, commits + aborts);
+    EXPECT_EQ(aborts, restarts); // every abort is retried
+}
+
+TEST(TraceIntegration, JsonlRoundTripsThroughMiniJson)
+{
+    TraceCapture cap = tracedRun(traceCatAll);
+    std::ostringstream os;
+    emitTraceJsonl(os, {cap});
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t events = 0;
+    for (unsigned n = 1; std::getline(is, line); ++n) {
+        minijson::Value v;
+        std::string err;
+        ASSERT_TRUE(minijson::parse(line, v, &err))
+            << "line " << n << ": " << err;
+        if (n == 1)
+            EXPECT_EQ(v.get("schema")->str, "ptm-trace-v1");
+        else if (v.get("type")->str == "ev")
+            ++events;
+    }
+    EXPECT_EQ(events, cap.events.size());
+}
+
+TEST(TraceIntegration, ChromeSlicesBalance)
+{
+    TraceCapture cap = tracedRun(traceCatAll);
+    std::ostringstream os;
+    emitTraceChrome(os, {cap});
+
+    minijson::Value v;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(os.str(), v, &err)) << err;
+    const minijson::Value *events = v.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::uint64_t begins = 0, ends = 0, starts = 0, finishes = 0;
+    std::map<std::pair<double, double>, std::int64_t> depth;
+    double last_ts = -1;
+    for (const minijson::Value &e : events->array) {
+        const std::string &ph = e.get("ph")->str;
+        if (ph != "M") {
+            double ts = e.get("ts")->number;
+            EXPECT_GE(ts, last_ts) << "events not sorted by ts";
+            last_ts = ts;
+        }
+        std::pair<double, double> track{
+            e.get("pid") ? e.get("pid")->number : 0,
+            e.get("tid") ? e.get("tid")->number : 0};
+        if (ph == "B") {
+            ++begins;
+            ++depth[track];
+        } else if (ph == "E") {
+            ++ends;
+            ASSERT_GT(depth[track], 0)
+                << "E without an open B on its track";
+            --depth[track];
+        } else if (ph == "s") {
+            ++starts;
+        } else if (ph == "f") {
+            ++finishes;
+        }
+    }
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_EQ(starts, finishes);
+    for (const auto &[track, d] : depth)
+        EXPECT_EQ(d, 0) << "track left slices open";
+}
+
+TEST(TraceIntegration, WriteTraceToFileAndStdoutError)
+{
+    TraceCapture cap = tracedRun(traceCatMask(TraceCat::Tx));
+    std::string path = ::testing::TempDir() + "trace_rt.jsonl";
+    std::string err;
+    ASSERT_TRUE(writeTrace(path, TraceFormat::Jsonl, {cap}, &err))
+        << err;
+    std::ifstream f(path);
+    std::string first;
+    ASSERT_TRUE(std::getline(f, first));
+    EXPECT_NE(first.find("ptm-trace-v1"), std::string::npos);
+
+    EXPECT_FALSE(writeTrace("/nonexistent-dir/x.json",
+                            TraceFormat::Jsonl, {cap}, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace
+} // namespace ptm

@@ -37,7 +37,7 @@ STAT_KINDS = {
     "average": ["mean", "samples"],
     "time_weighted": ["mean"],
     "distribution": [
-        "samples", "sum", "mean", "min", "max",
+        "samples", "sum", "mean", "min", "max", "p50", "p95", "p99",
         "bucket_lo", "bucket_width", "underflow", "overflow", "counts",
     ],
 }
@@ -104,6 +104,19 @@ def check_run(ptm_sim, system):
                     errors.append(
                         f"{system}: {gname}.{sname} counts not a "
                         "non-empty list")
+                p50 = stat.get("p50", 0)
+                p95 = stat.get("p95", 0)
+                p99 = stat.get("p99", 0)
+                if not p50 <= p95 <= p99:
+                    errors.append(
+                        f"{system}: {gname}.{sname} percentiles not "
+                        f"ordered: {p50} / {p95} / {p99}")
+                if stat.get("samples") and not (
+                        stat.get("min", 0) <= p50
+                        and p99 <= stat.get("max", 0)):
+                    errors.append(
+                        f"{system}: {gname}.{sname} percentiles "
+                        "outside [min, max]")
 
     # Spot-check run-level consistency.
     if "sys" in groups and "cycles" in groups["sys"]:

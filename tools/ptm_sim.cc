@@ -24,6 +24,8 @@
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
 
 int
 main(int argc, char **argv)
@@ -75,6 +77,7 @@ main(int argc, char **argv)
     opts.optionString("stats-json", "FILE",
                       "write ptm-stats-v1 JSON to FILE (- = stdout)",
                       json_path);
+    addTraceOptions(opts, prm.trace);
     opts.exitFlag("list", "list workloads and exit", [&] {
         for (const auto &w : workloadNames())
             std::printf("%s\n", w.c_str());
@@ -89,6 +92,10 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Keep stdout machine-readable when either output goes there.
+    if (json_path == "-" || prm.trace.path == "-")
+        setInformToStderr(true);
+
     auto t0 = std::chrono::steady_clock::now();
     ExperimentResult r = runWorkload(workload, prm, scale, threads);
     double wall = std::chrono::duration<double>(
@@ -96,8 +103,8 @@ main(int argc, char **argv)
                       .count();
     const StatSnapshot &s = r.snapshot;
 
-    // JSON to stdout replaces the human summary entirely.
-    bool human = json_path != "-";
+    // Machine-readable output on stdout replaces the human summary.
+    bool human = json_path != "-" && prm.trace.path != "-";
     if (human) {
         std::printf("workload          %s (scale %d, %u threads, seed "
                     "%llu)\n",
@@ -188,6 +195,21 @@ main(int argc, char **argv)
         }
         if (human)
             std::printf("stats json        %s\n", json_path.c_str());
+    }
+
+    if (!prm.trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(prm.trace.path, prm.trace.format, {r.trace},
+                        &err)) {
+            std::fprintf(stderr, "ptm_sim: %s\n", err.c_str());
+            return 2;
+        }
+        if (human)
+            std::printf("trace             %s (%llu events, %llu "
+                        "dropped)\n",
+                        prm.trace.path.c_str(),
+                        (unsigned long long)r.trace.events.size(),
+                        (unsigned long long)r.trace.dropped);
     }
     return r.verified ? 0 : 1;
 }

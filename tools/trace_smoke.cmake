@@ -1,0 +1,31 @@
+# Trace smoke-test driver for ctest: run a traced simulator command,
+# then one or two checker commands against its output file. Invoked as
+#
+#   cmake -DRUN="bin args..." -DCHECK="checker args..."
+#         [-DCHECK2="..."] -P trace_smoke.cmake
+#
+# Each variable holds one shell-style command line; every command must
+# exit 0. The simulator's stdout is discarded (benches print tables),
+# checker output is shown.
+
+foreach(var RUN CHECK)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "trace_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+
+separate_arguments(run_cmd UNIX_COMMAND "${RUN}")
+execute_process(COMMAND ${run_cmd} RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run failed (${rc}): ${RUN}")
+endif()
+
+foreach(var CHECK CHECK2)
+    if(DEFINED ${var})
+        separate_arguments(check_cmd UNIX_COMMAND "${${var}}")
+        execute_process(COMMAND ${check_cmd} RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR "check failed (${rc}): ${${var}}")
+        endif()
+    endif()
+endforeach()
