@@ -15,6 +15,7 @@
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/trace_io.hh"
@@ -27,18 +28,30 @@ main(int argc, char **argv)
 
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
     OptionTable opts("bench_ablation_caches",
                      "Sweep the VTS SPT/TAV cache sizes.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_ablation_caches: --json - and "
+                             "--trace - cannot both write to stdout\n");
         return 2;
     }
 
@@ -74,9 +87,12 @@ main(int argc, char **argv)
             prm.sptCacheEntries = c.spt;
             prm.tavCacheEntries = c.tav;
             prm.trace = trace;
-            ExperimentResult r = runWorkload(app, prm, 1, 4);
+            prm.profile = profile;
+            ExperimentResult r = runWorkload(app, prm, scale, 4);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
+            printRunProfile(hout, std::string(app) + "/" + c.label,
+                            r.profile, r.host);
             const StatSnapshot &s = r.snapshot;
             std::uint64_t spt_hits = s.counter("vts.spt_cache_hits");
             std::uint64_t tav_hits = s.counter("vts.tav_cache_hits");
@@ -101,6 +117,7 @@ main(int argc, char **argv)
                 .field("spt_hit_pct", spt_pct)
                 .field("tav_hit_pct", tav_pct)
                 .field("verified", r.verified);
+            addProfileFields(rec, r.profile);
         }
     }
     table.print(hout);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "harness/cli.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/system.hh"
@@ -41,19 +42,25 @@ struct Result
     std::uint64_t stalls = 0;
     bool ok = false;
     TraceCapture trace;
+    ProfSnapshot profile;
+    HostProfile host;
 };
 
 /**
  * @param kind        TM system under test
  * @param abort_every sabotage every n-th transaction (0 = never)
  * @param trace       event-tracing parameters (off if path empty)
+ * @param profile     cycle/host profiling parameters
+ * @param scale       0 = tiny test size, 1 = benchmark size
  */
 Result
-run(TmKind kind, unsigned abort_every, const TraceParams &trace)
+run(TmKind kind, unsigned abort_every, const TraceParams &trace,
+    const ProfileParams &profile, int scale)
 {
     SystemParams p;
     p.tmKind = kind;
     p.trace = trace;
+    p.profile = profile;
     p.l1Bytes = 1024;
     p.l2Bytes = 8 * 1024; // 128 lines: transactions overflow
     p.l2Assoc = 2;
@@ -63,7 +70,7 @@ run(TmKind kind, unsigned abort_every, const TraceParams &trace)
 
     System sys(p);
     ProcId proc = sys.createProcess();
-    constexpr unsigned kRounds = 40;
+    const unsigned kRounds = scale ? 40 : 8;
     constexpr unsigned kBlocks = 400;
     constexpr Addr data = 0x100000;
     constexpr Addr round_flag = 0x10000;
@@ -98,7 +105,7 @@ run(TmKind kind, unsigned abort_every, const TraceParams &trace)
     // Saboteur: on sabotage rounds, wait for the announcement and
     // stomp on the first data block non-transactionally.
     std::vector<Step> ssteps;
-    ssteps.push_back(PlainStep{[abort_every](MemCtx m) -> TxCoro {
+    ssteps.push_back(PlainStep{[abort_every, kRounds](MemCtx m) -> TxCoro {
         for (unsigned r = 0; r < kRounds; ++r) {
             bool sabotage = abort_every && (r % abort_every) == 0;
             while (co_await m.load(round_flag) < r + 1)
@@ -125,6 +132,8 @@ run(TmKind kind, unsigned abort_every, const TraceParams &trace)
     res.abortRestores = s.counter("vts.abort_restore_units");
     res.copybacks = s.counter("vtm.copybacks");
     res.stalls = s.counter("mem.false_stalls");
+    res.profile = sys.profiler().snapshot();
+    res.host = sys.eq().hostProfile();
     // Verify: the final committed value of every block belongs to the
     // last round (the worker re-runs sabotaged transactions).
     res.ok = true;
@@ -144,19 +153,32 @@ main(int argc, char **argv)
 {
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
     OptionTable opts("bench_ablation_commit_abort",
                      "Commit vs abort cost of the versioning "
                      "policies.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_ablation_commit_abort: --json - "
+                             "and --trace - cannot both write to "
+                             "stdout\n");
         return 2;
     }
 
@@ -179,12 +201,15 @@ main(int argc, char **argv)
                             TmKind::Vtm, TmKind::VcVtm};
     for (unsigned every : {0u, 4u, 2u}) {
         for (TmKind k : kinds) {
-            Result r = run(k, every, trace);
+            Result r = run(k, every, trace, profile, scale);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
             const char *rate = every == 0 ? "none"
                                : every == 4 ? "1 in 4"
                                             : "1 in 2";
+            printRunProfile(hout,
+                            std::string(tmKindName(k)) + "/" + rate,
+                            r.profile, r.host);
             table.row({tmKindName(k), rate, cellU(r.cycles),
                        cellU(r.aborts), cellU(r.copyBackups),
                        cellU(r.abortRestores), cellU(r.copybacks),
@@ -199,6 +224,7 @@ main(int argc, char **argv)
                 .field("vtm_copybacks", r.copybacks)
                 .field("stalls", r.stalls)
                 .field("verified", r.ok);
+            addProfileFields(rec, r.profile);
         }
     }
     table.print(hout);

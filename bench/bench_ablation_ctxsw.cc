@@ -15,6 +15,7 @@
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/trace_io.hh"
@@ -27,19 +28,31 @@ main(int argc, char **argv)
 
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
     OptionTable opts("bench_ablation_ctxsw",
                      "Context-switch handling: PTM tx-ID tags vs "
                      "flush-on-switch.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_ablation_ctxsw: --json - and "
+                             "--trace - cannot both write to stdout\n");
         return 2;
     }
 
@@ -65,11 +78,14 @@ main(int argc, char **argv)
             prm.daemonInterval = 300 * 1000;
             prm.flushOnContextSwitch = flush;
             prm.trace = trace;
-            ExperimentResult r = runWorkload(app, prm, 1, 8);
+            prm.profile = profile;
+            ExperimentResult r = runWorkload(app, prm, scale, 8);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
             const char *mode =
                 flush ? "flush-on-switch" : "tx-ID tags (PTM)";
+            printRunProfile(hout, std::string(app) + "/" + mode,
+                            r.profile, r.host);
             auto row = rowFromStats(
                 {app, mode, cellU(r.cycles)}, r.snapshot,
                 {"os.context_switches", "mem.tx_evictions",
@@ -87,6 +103,7 @@ main(int argc, char **argv)
                 .field("ctxsw_flush_aborts",
                        r.snapshot.counter("mem.ctxsw_flush_aborts"))
                 .field("verified", r.verified);
+            addProfileFields(rec, r.profile);
         }
     }
     table.print(hout);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "harness/cli.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/system.hh"
@@ -46,17 +47,22 @@ struct Result
     std::uint64_t swapOuts = 0;
     bool ok = true;
     TraceCapture trace;
+    ProfSnapshot profile;
+    HostProfile host;
 };
 
 Result
-run(ShadowFreePolicy policy, const TraceParams &trace)
+run(ShadowFreePolicy policy, const TraceParams &trace,
+    const ProfileParams &profile, int scale)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
     p.shadowFree = policy;
     p.trace = trace;
+    p.profile = profile;
     p.swapEnabled = true;
-    p.physFrames = 360; // pressure: homes + shadows exceed this
+    // Pressure: homes + shadows exceed the frame count at either size.
+    p.physFrames = scale ? 360 : 90;
     p.l2Bytes = 16 * 1024;
     p.l2Assoc = 2;
     p.l1Bytes = 1024;
@@ -66,7 +72,7 @@ run(ShadowFreePolicy policy, const TraceParams &trace)
 
     System sys(p);
     ProcId proc = sys.createProcess();
-    constexpr unsigned kPages = 200;
+    const unsigned kPages = scale ? 200 : 50;
     constexpr unsigned kWave = 25;
     constexpr Addr base = 0x1000000;
 
@@ -95,7 +101,7 @@ run(ShadowFreePolicy policy, const TraceParams &trace)
         }});
     }
     // Final sweep touching everything (forces residency / swap-ins).
-    steps.push_back(PlainStep{[](MemCtx m) -> TxCoro {
+    steps.push_back(PlainStep{[kPages](MemCtx m) -> TxCoro {
         for (unsigned pg = 0; pg < kPages; ++pg)
             co_await m.load(base + Addr(pg) * pageBytes);
     }});
@@ -117,6 +123,8 @@ run(ShadowFreePolicy policy, const TraceParams &trace)
     r.lazyMigrations = s.counter("vts.lazy_migrations");
     r.swapIns = s.counter("os.swap_ins");
     r.swapOuts = s.counter("os.swap_outs");
+    r.profile = sys.profiler().snapshot();
+    r.host = sys.eq().hostProfile();
     for (unsigned pg = 0; pg < kPages && r.ok; ++pg)
         for (unsigned b = 0; b < blocksPerPage; b += 4)
             if (sys.readWord32(proc, base + Addr(pg) * pageBytes +
@@ -133,19 +141,32 @@ main(int argc, char **argv)
 {
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
     OptionTable opts("bench_ablation_shadow_free",
                      "Shadow-page freeing policies under memory "
                      "pressure.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_ablation_shadow_free: --json - "
+                             "and --trace - cannot both write to "
+                             "stdout\n");
         return 2;
     }
 
@@ -165,12 +186,13 @@ main(int argc, char **argv)
     BenchRecorder rec("ablation_shadow_free");
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
-        Result r = run(pol, trace);
+        Result r = run(pol, trace, profile, scale);
         if (!trace.path.empty())
             captures.push_back(std::move(r.trace));
         const char *label = pol == ShadowFreePolicy::MergeOnSwap
                                 ? "merge-on-swap"
                                 : "lazy-migrate";
+        printRunProfile(hout, label, r.profile, r.host);
         table.row({label, cellU(r.cycles), cellU(r.shadowAllocs),
                    cellU(r.shadowFrees), cellU(r.liveShadows),
                    cellU(r.lazyMigrations), cellU(r.swapOuts),
@@ -185,6 +207,7 @@ main(int argc, char **argv)
             .field("swap_outs", r.swapOuts)
             .field("swap_ins", r.swapIns)
             .field("verified", r.ok);
+        addProfileFields(rec, r.profile);
     }
     table.print(hout);
 

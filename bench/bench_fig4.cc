@@ -23,6 +23,7 @@
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/trace_io.hh"
@@ -35,6 +36,7 @@ main(int argc, char **argv)
 
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
     int scale = 1;
     OptionTable opts("bench_fig4",
                      "Reproduce Figure 4: % speedup over "
@@ -45,12 +47,20 @@ main(int argc, char **argv)
     opts.optionInt("scale", "N",
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_fig4: --json - and --trace - "
+                             "cannot both write to stdout\n");
         return 2;
     }
 
@@ -83,9 +93,13 @@ main(int argc, char **argv)
             SystemParams prm;
             prm.tmKind = kinds[k];
             prm.trace = trace;
+            prm.profile = profile;
             ExperimentResult r = runWorkload(name, prm, scale, 4);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
+            printRunProfile(hout,
+                            name + "/" + tmKindName(kinds[k]),
+                            r.profile, r.host);
             double pct = speedupPct(serial, r.cycles);
             sums[k] += pct;
             all_ok = all_ok && r.verified;
@@ -100,6 +114,7 @@ main(int argc, char **argv)
                 .field("commits", r.snapshot.counter("tx.commits"))
                 .field("aborts", r.snapshot.counter("tx.aborts"))
                 .field("verified", r.verified);
+            addProfileFields(rec, r.profile);
         }
         table.row(std::move(cells));
     }

@@ -25,6 +25,7 @@
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/system.hh"
@@ -38,7 +39,7 @@ using namespace ptm;
 
 /** Multi-writer eviction microbenchmark: returns (cycles, aborts). */
 std::pair<Tick, std::uint64_t>
-mwMicro(Granularity g)
+mwMicro(Granularity g, int scale)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
@@ -53,7 +54,7 @@ mwMicro(Granularity g)
     System sys(p);
     ProcId proc = sys.createProcess();
     constexpr unsigned kBlocks = 256;
-    constexpr unsigned kIters = 6;
+    const unsigned kIters = scale ? 6 : 2;
     constexpr Addr base = 0x100000;
     // Each of 4 threads repeatedly writes ITS OWN word of every shared
     // block inside one large (overflowing) transaction.
@@ -83,19 +84,31 @@ main(int argc, char **argv)
 {
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
     OptionTable opts("bench_fig5",
                      "Reproduce Figure 5: conflict detection at word "
                      "granularity.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_fig5: --json - and --trace - "
+                             "cannot both write to stdout\n");
         return 2;
     }
 
@@ -122,11 +135,11 @@ main(int argc, char **argv)
     for (const auto &name : workloadNames()) {
         SystemParams sp;
         sp.tmKind = TmKind::Serial;
-        Tick serial = runWorkload(name, sp, 1, 4).cycles;
+        Tick serial = runWorkload(name, sp, scale, 4).cycles;
 
         SystemParams lp;
         lp.tmKind = TmKind::Locks;
-        ExperimentResult locks = runWorkload(name, lp, 1, 4);
+        ExperimentResult locks = runWorkload(name, lp, scale, 4);
         all_ok = all_ok && locks.verified;
 
         std::vector<std::string> cells{
@@ -142,9 +155,12 @@ main(int argc, char **argv)
             prm.tmKind = TmKind::SelectPtm;
             prm.granularity = g;
             prm.trace = trace;
-            ExperimentResult r = runWorkload(name, prm, 1, 4);
+            prm.profile = profile;
+            ExperimentResult r = runWorkload(name, prm, scale, 4);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
+            printRunProfile(hout, name + "/" + granularityName(g),
+                            r.profile, r.host);
             all_ok = all_ok && r.verified;
             std::uint64_t aborts = r.snapshot.counter("tx.aborts");
             cells.push_back(cell("%+.0f%%",
@@ -158,6 +174,7 @@ main(int argc, char **argv)
                 .field("speedup_pct", speedupPct(serial, r.cycles))
                 .field("aborts", aborts)
                 .field("verified", r.verified);
+            addProfileFields(rec, r.profile);
         }
         table.row(std::move(cells));
     }
@@ -167,7 +184,7 @@ main(int argc, char **argv)
                 "with forced mid-transaction evictions\n\n");
     Report micro({"mode", "cycles", "aborts"});
     for (Granularity g : grans) {
-        auto [cycles, aborts] = mwMicro(g);
+        auto [cycles, aborts] = mwMicro(g, scale);
         micro.row({granularityName(g), cellU(cycles), cellU(aborts)});
         rec.beginRow()
             .field("app", "mw-micro")

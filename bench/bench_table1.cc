@@ -24,6 +24,7 @@
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
+#include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
 #include "harness/trace_io.hh"
@@ -57,19 +58,31 @@ main(int argc, char **argv)
 
     std::string json_path;
     TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
     OptionTable opts("bench_table1",
                      "Reproduce Table 1: transactional execution "
                      "behavior of the SPLASH-2 loop regions.");
     opts.optionString("json", "FILE",
                       "write ptm-bench-v1 results to FILE (- = stdout)",
                       json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_table1: --json - and --trace - "
+                             "cannot both write to stdout\n");
         return 2;
     }
 
@@ -93,9 +106,11 @@ main(int argc, char **argv)
         SystemParams prm;
         prm.tmKind = TmKind::SelectPtm;
         prm.trace = trace;
-        ExperimentResult r = runWorkload(name, prm, 1, 4);
+        prm.profile = profile;
+        ExperimentResult r = runWorkload(name, prm, scale, 4);
         if (!trace.path.empty())
             captures.push_back(std::move(r.trace));
+        printRunProfile(hout, name, r.profile, r.host);
         const StatSnapshot &s = r.snapshot;
         std::uint64_t evictions = s.counter("mem.evictions");
         double mop = evictions
@@ -114,6 +129,7 @@ main(int argc, char **argv)
                        (r.verified ? "" : "  !!WRONG RESULT")});
         rec.beginRow()
             .field("app", name)
+            .field("cycles", std::uint64_t(r.cycles))
             .field("commits", s.counter("tx.commits"))
             .field("aborts", s.counter("tx.aborts"))
             .field("exceptions", s.counter("os.exceptions"))
@@ -126,6 +142,7 @@ main(int argc, char **argv)
             .field("ideal_pct", s.value("sys.ideal_pct"))
             .field("mop_per_evict", mop)
             .field("verified", r.verified);
+        addProfileFields(rec, r.profile);
     }
     table.print(hout);
 

@@ -16,17 +16,24 @@ namespace ptm
 Core::Core(CoreId id, const SystemParams &params, EventQueue &eq,
            MemSystem &mem, TxManager &txmgr, OsKernel &os)
     : id_(id), params_(params), eq_(eq), mem_(mem), txmgr_(txmgr),
-      os_(os)
+      os_(os), site_step_(eq.siteId("core.step")),
+      site_compute_(eq.siteId("core.compute")),
+      site_xlat_(eq.siteId("core.xlat")),
+      site_mem_(eq.siteId("core.mem"))
 {}
 
 void
 Core::regStats(StatRegistry &reg)
 {
     StatGroup &g = reg.addGroup("core" + std::to_string(id_));
-    g.addCounter("mem_ops", &memOps);
-    g.addCounter("tx_mem_ops", &txMemOps);
-    g.addCounter("compute_ops", &computeOps);
-    g.addCounter("preemptions", &preemptions);
+    g.addCounter("mem_ops", &memOps,
+                 "loads, stores and CAS ops issued by this core");
+    g.addCounter("tx_mem_ops", &txMemOps,
+                 "memory ops issued inside a transaction");
+    g.addCounter("compute_ops", &computeOps,
+                 "compute (non-memory) operations executed");
+    g.addCounter("preemptions", &preemptions,
+                 "threads preempted off this core (quantum/daemon)");
 }
 
 void
@@ -50,7 +57,8 @@ Core::kickParked()
 void
 Core::scheduleStep(Tick delay)
 {
-    eq_.scheduleIn(delay, EventPriority::Cpu, [this] { step(); });
+    eq_.scheduleIn(delay, EventPriority::Cpu, [this] { step(); },
+                   site_step_);
 }
 
 bool
@@ -69,6 +77,13 @@ Core::preempt(ThreadCtx &t, Tick next_step_delay)
     ++os_.contextSwitches;
     os_.tracer().record(TraceEventType::CtxSwitch, id_, t.id,
                         invalidTxId, invalidTxId, 1);
+    if (t.curTx != invalidTxId) {
+        // A mid-transaction thread leaves the core: retire its pending
+        // execution ticks now (optimistically, unless already doomed)
+        // so the pot stays core-local across the migration.
+        prof_->resolveTx(id_, !t.abortPending);
+    }
+    prof_->set(id_, ProfBucket::CtxSwitch);
     if (params_.flushOnContextSwitch && t.curTx != invalidTxId &&
         txmgr_.isLive(t.curTx)) {
         // VTM-style switch: the transaction's cached blocks must be
@@ -91,6 +106,7 @@ Core::daemonPreempt(Tick length)
     // idle core just stays busy with the daemon.
     if (idle_) {
         idle_ = false;
+        prof_->set(id_, ProfBucket::CtxSwitch);
         scheduleStep(length);
     }
 }
@@ -100,6 +116,7 @@ Core::step()
 {
     Tick now = eq_.curTick();
     if (now < daemon_until_ && !cur_) {
+        prof_->set(id_, ProfBucket::CtxSwitch);
         scheduleStep(daemon_until_ - now);
         return;
     }
@@ -120,6 +137,7 @@ Core::step()
             os_.tracer().record(TraceEventType::CtxSwitch, id_,
                                 cur_->id, invalidTxId, invalidTxId, 0);
             last_ = cur_;
+            prof_->set(id_, ProfBucket::CtxSwitch);
             scheduleStep(params_.contextSwitchLatency);
             return;
         }
@@ -161,10 +179,12 @@ Core::beginStep(ThreadCtx &t)
         cur_ = nullptr;
         os_.threadExited(&t);
         // Pick up more work if any.
-        if (os_.hasReady())
+        if (os_.hasReady()) {
+            prof_->set(id_, ProfBucket::CtxSwitch);
             scheduleStep(params_.contextSwitchLatency);
-        else
+        } else {
             goIdle();
+        }
         return;
     }
 
@@ -179,6 +199,7 @@ Core::beginStep(ThreadCtx &t)
         t.coro = tx->body(MemCtx{});
         t.coroLive = true;
         // Register checkpoint at transaction begin.
+        prof_->set(id_, ProfBucket::TxBegin);
         scheduleStep(params_.checkpointLatency);
         return;
     }
@@ -199,15 +220,19 @@ Core::beginStep(ThreadCtx &t)
             }
         }
         os_.kickIdleCores();
+        prof_->set(id_, ProfBucket::Barrier);
         scheduleStep(params_.barrierLatency);
     } else {
         t.state = ThreadState::WaitBarrier;
         t.core = nullptr;
         cur_ = nullptr;
-        if (os_.hasReady())
+        if (os_.hasReady()) {
+            prof_->set(id_, ProfBucket::CtxSwitch);
             scheduleStep(params_.contextSwitchLatency);
-        else
-            goIdle();
+        } else {
+            // Nothing else to run: the core sits out the barrier.
+            goIdle(ProfBucket::Barrier);
+        }
     }
 }
 
@@ -243,11 +268,12 @@ Core::runOp(ThreadCtx &t, const MemYield &op)
         ++computeOps;
         t.computeCycles += op.cycles;
         Tick d = op.cycles ? op.cycles : 1;
+        profExec(t);
         std::uint64_t ep = t.epoch;
         eq_.scheduleIn(d, EventPriority::Cpu, [this, &t, ep] {
             if (t.epoch == ep)
                 resumeCoro(t, 0);
-        });
+        }, site_compute_);
         return;
     }
 
@@ -275,12 +301,18 @@ Core::runOp(ThreadCtx &t, const MemYield &op)
     if (xr.latency == 0) {
         issueAccess(t, acc);
     } else {
+        // Translation stall: hardware TLB walk, or the full software
+        // fault path (which includes any swap I/O).
+        prof_->push(id_, xr.faulted ? ProfBucket::FaultSwap
+                                    : ProfBucket::StallXlat);
         std::uint64_t ep = t.epoch;
         eq_.scheduleIn(xr.latency, EventPriority::Cpu,
                        [this, &t, acc, ep] {
-                           if (t.epoch == ep)
+                           if (t.epoch == ep) {
+                               prof_->pop(id_);
                                issueAccess(t, acc);
-                       });
+                           }
+                       }, site_xlat_);
     }
 }
 
@@ -294,26 +326,33 @@ Core::issueAccess(ThreadCtx &t, const Access &acc)
     if (auto hit = mem_.trySync(acc)) {
         Tick lat = hit->first;
         std::uint32_t v = hit->second.value;
+        prof_->push(id_, lat <= params_.l1Latency
+                             ? ProfBucket::StallL1
+                             : ProfBucket::StallL2);
         std::uint64_t ep = t.epoch;
         eq_.scheduleIn(lat, EventPriority::Cpu, [this, &t, v, ep] {
-            if (t.epoch == ep)
+            if (t.epoch == ep) {
+                prof_->pop(id_);
                 resumeCoro(t, v);
-        });
+            }
+        }, site_mem_);
         return;
     }
     t.state = ThreadState::WaitMem;
+    prof_->push(id_, ProfBucket::StallMem);
     std::uint64_t ep = t.epoch;
     mem_.request(acc, [this, &t, ep](Tick done, AccessResult res) {
         eq_.schedule(done, EventPriority::Cpu, [this, &t, res, ep] {
             if (t.epoch != ep)
                 return;
+            prof_->pop(id_);
             t.state = ThreadState::Running;
             if (res.txAborted || t.abortPending) {
                 handleAbort(t);
                 return;
             }
             resumeCoro(t, res.value);
-        });
+        }, site_mem_);
     });
 }
 
@@ -325,6 +364,7 @@ Core::stepFinished(ThreadCtx &t)
 
     if (std::holds_alternative<TxStep>(t.currentStep())) {
         t.commitPending = true;
+        prof_->set(id_, ProfBucket::TxCommit);
         std::uint64_t ep = t.epoch;
         eq_.scheduleIn(params_.commitLatency, EventPriority::Cpu,
                        [this, &t, ep] {
@@ -340,6 +380,7 @@ Core::stepFinished(ThreadCtx &t)
     }
 
     ++t.stepIdx;
+    profExec(t);
     scheduleStep(1);
 }
 
@@ -348,9 +389,12 @@ Core::tryCommit(ThreadCtx &t)
 {
     CommitResult r = txmgr_.requestCommit(t.curTx);
     if (r == CommitResult::Done) {
+        // The attempt's pending execution ticks were useful work.
+        prof_->resolveTx(id_, true);
         t.commitPending = false;
         t.curTx = invalidTxId;
         ++t.stepIdx;
+        profExec(t);
         scheduleStep(1);
         return;
     }
@@ -358,11 +402,15 @@ Core::tryCommit(ThreadCtx &t)
     // core if other threads could use it; otherwise stall in place.
     t.state = ThreadState::WaitOrdered;
     if (os_.hasReady()) {
+        // Execution is done and only the token is missing: retire the
+        // pot as useful before the thread migrates off this core.
+        prof_->resolveTx(id_, true);
+        prof_->set(id_, ProfBucket::CtxSwitch);
         t.core = nullptr;
         cur_ = nullptr;
         scheduleStep(params_.contextSwitchLatency);
     } else {
-        goIdle();
+        goIdle(ProfBucket::TxCommit);
     }
 }
 
@@ -375,16 +423,24 @@ Core::handleAbort(ThreadCtx &t)
     t.coro.destroy();
     t.coroLive = false;
 
+    // The aborted attempt's execution was wasted; collapsing the phase
+    // stack also cleans up any stall span whose pop the epoch bump
+    // just abandoned.
+    prof_->resolveTx(id_, false);
+    prof_->collapse(id_, ProfBucket::TxAbort);
+
     if (!t.abortCleanupDone) {
         // Copy-PTM restores (and TAV frees) must drain before the
         // transaction re-executes.
         t.state = ThreadState::WaitAbort;
         if (os_.hasReady()) {
+            prof_->set(id_, ProfBucket::CtxSwitch);
             t.core = nullptr;
             cur_ = nullptr;
             scheduleStep(params_.contextSwitchLatency);
         } else {
-            goIdle();
+            // Waiting in place for abort cleanup is abort overhead.
+            goIdle(ProfBucket::TxAbort);
         }
         return;
     }

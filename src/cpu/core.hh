@@ -20,6 +20,7 @@
 #include "mem/mem_system.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "tx/tx_manager.hh"
@@ -55,6 +56,9 @@ class Core
 
     /** Register this core's statistics under "core<N>". */
     void regStats(StatRegistry &reg);
+
+    /** Attach the cycle-accounting profiler (default: inert nil()). */
+    void setProfiler(CycleProfiler &prof) { prof_ = &prof; }
 
     /** @name Statistics */
     /// @{
@@ -98,11 +102,30 @@ class Core
     /** True if the thread must yield the core right now. */
     bool shouldPreempt() const;
 
-    /** Park with no pending continuation (kick()/kickParked() wake). */
+    /**
+     * Park with no pending continuation (kick()/kickParked() wake).
+     * @p b is the phase the parked time is accounted to: plain Idle by
+     * default, but e.g. an ordered-commit wait in place is TxCommit.
+     */
     void
-    goIdle()
+    goIdle(ProfBucket b = ProfBucket::Idle)
     {
         idle_ = true;
+        prof_->set(id_, b);
+    }
+
+    /**
+     * Mark the core as executing the thread's program: in-transaction
+     * ticks accrue to the profiler's pending pot (resolved useful or
+     * wasted at commit/abort), non-transactional ticks to NonTx.
+     */
+    void
+    profExec(const ThreadCtx &t)
+    {
+        if (t.curTx != invalidTxId)
+            prof_->txWork(id_);
+        else
+            prof_->set(id_, ProfBucket::NonTx);
     }
 
     const CoreId id_;
@@ -112,11 +135,19 @@ class Core
     TxManager &txmgr_;
     OsKernel &os_;
 
+    CycleProfiler *prof_ = &CycleProfiler::nil();
+
     ThreadCtx *cur_ = nullptr;
     ThreadCtx *last_ = nullptr;
     bool idle_ = true;
     Tick quantum_end_ = 0;
     Tick daemon_until_ = 0;
+
+    /** Interned host-profile site ids for this core's hot callbacks. */
+    std::uint16_t site_step_;
+    std::uint16_t site_compute_;
+    std::uint16_t site_xlat_;
+    std::uint16_t site_mem_;
 };
 
 } // namespace ptm

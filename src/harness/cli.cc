@@ -234,6 +234,49 @@ addTraceOptions(OptionTable &opts, TraceParams &dest)
                 });
 }
 
+void
+addProfileOptions(OptionTable &opts, ProfileParams &dest)
+{
+    opts.flag("profile",
+              "enable cycle accounting; prints the per-core tick "
+              "decomposition and adds a 'profile' JSON section",
+              [&dest] { dest.enabled = true; });
+    opts.flag("host-profile",
+              "also profile the host event loop (per-site event "
+              "counts and sampled wall time); implies --profile",
+              [&dest] {
+                  dest.enabled = true;
+                  dest.host = true;
+              });
+    opts.option("host-profile-interval", "N",
+                "measure host time of every N-th event (default 32)",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0 || n > 0xFFFFFFFFull)
+                        return false;
+                    dest.hostSampleInterval = unsigned(n);
+                    return true;
+                });
+}
+
+void
+printStatList(const StatRegistry &reg)
+{
+    std::size_t width = 0;
+    for (const auto &g : reg.groups())
+        for (const auto &s : g->stats()) {
+            std::size_t w = g->name().size() + 1 + s.name.size();
+            if (w > width)
+                width = w;
+        }
+    for (const auto &g : reg.groups())
+        for (const auto &s : g->stats()) {
+            std::string path = g->name() + "." + s.name;
+            std::printf("%-*s  %-13s %s\n", int(width), path.c_str(),
+                        statKindName(s.kind), s.desc.c_str());
+        }
+}
+
 CliStatus
 OptionTable::parse(int argc, char **argv) const
 {

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/profile.hh"
+#include "sim/stats.hh"
 #include "sim/trace.hh"
 
 namespace ptm
@@ -127,6 +129,22 @@ class OptionTable
  * bench_* front end so the tracing surface is identical everywhere.
  */
 void addTraceOptions(OptionTable &opts, TraceParams &dest);
+
+/**
+ * Register the shared profiling options (--profile, --host-profile,
+ * --host-profile-interval) storing into @p dest. Used by ptm_sim and
+ * every bench_* front end so the profiling surface is identical
+ * everywhere. --host-profile implies --profile.
+ */
+void addProfileOptions(OptionTable &opts, ProfileParams &dest);
+
+/**
+ * Print every statistic registered in @p reg as
+ * "group.stat  kind  description" lines — the body of the shared
+ * --list-stats flag. Listing reflects the *configured* system: TM
+ * backends register different groups ("vts" vs "vtm").
+ */
+void printStatList(const StatRegistry &reg);
 
 } // namespace ptm
 

@@ -33,6 +33,8 @@ runWorkload(const std::string &workload_name, SystemParams params,
     r.snapshot = sys.snapshot();
     r.stats = sys.stats();
     r.verified = wl->verify(sys);
+    r.profile = sys.profiler().snapshot();
+    r.host = sys.eq().hostProfile();
     if (sys.tracer().active())
         r.trace = captureTrace(sys.tracer(),
                                workload_name + "/" +

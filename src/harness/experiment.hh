@@ -37,6 +37,14 @@ struct ExperimentResult
      * set). Front ends collect these and write them with writeTrace().
      */
     TraceCapture trace;
+    /**
+     * Cycle-accounting capture (enabled == false unless
+     * params.profile.enabled): per-core tick buckets summing to
+     * elapsed, plus the supervisor overlay charges.
+     */
+    ProfSnapshot profile;
+    /** Host-side event-loop profile (params.profile.host). */
+    HostProfile host;
 };
 
 /**

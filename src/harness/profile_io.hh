@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Human- and machine-readable presentation of the cycle-accounting
+ * profiler.
+ *
+ *  - printProfileTable(): the Figure-6-style stacked overhead table —
+ *    one column per core, one row per tick bucket, each cell the
+ *    percentage of elapsed simulated time, plus the supervisor-overlay
+ *    charge totals underneath. Printed by `ptm_sim --profile` and the
+ *    bench_* binaries.
+ *  - printHostProfile(): per-callback-site event counts and estimated
+ *    host nanoseconds from the EventQueue's sampled wall-clock
+ *    profile (`--host-profile`).
+ *  - addProfileFields(): appends the aggregate bucket totals to a
+ *    BenchRecorder row (prof_total_ticks + one prof_<bucket> field per
+ *    bucket) so BENCH_*.json baselines carry the decomposition and
+ *    bench_compare can diff it.
+ */
+
+#ifndef PTM_HARNESS_PROFILE_IO_HH
+#define PTM_HARNESS_PROFILE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "harness/stats_io.hh"
+#include "sim/profile.hh"
+
+namespace ptm
+{
+
+/**
+ * Print the per-core cycle decomposition of @p prof to @p out: one row
+ * per bucket (percent of elapsed ticks per core plus an all-core
+ * column), a total row, and the supervisor-overlay charges in ticks.
+ * No-op when @p prof is not enabled.
+ */
+void printProfileTable(std::FILE *out, const ProfSnapshot &prof);
+
+/**
+ * Print the host-side event-loop profile: events, sampled events, and
+ * estimated host milliseconds per callback site, sorted by estimated
+ * time. No-op when @p host is not enabled.
+ */
+void printHostProfile(std::FILE *out, const HostProfile &host);
+
+/**
+ * Print one run's profile under a "--- profile: <label> ---" header:
+ * the cycle table followed by the host profile. No-op when @p prof is
+ * disabled, so bench loops can call it unconditionally.
+ */
+void printRunProfile(std::FILE *out, const std::string &label,
+                     const ProfSnapshot &prof, const HostProfile &host);
+
+/**
+ * Append the aggregate cycle decomposition to the current row of
+ * @p rec: "prof_total_ticks" (all-core bucket sum) and one
+ * "prof_<bucket>" field per bucket. No-op when @p prof is disabled, so
+ * call sites need no flag check.
+ */
+void addProfileFields(BenchRecorder &rec, const ProfSnapshot &prof);
+
+} // namespace ptm
+
+#endif // PTM_HARNESS_PROFILE_IO_HH

@@ -476,11 +476,62 @@ emitStat(JsonWriter &w, const StatValue &v)
     w.endObject();
 }
 
+void
+emitProfile(JsonWriter &w, const ProfSnapshot &prof,
+            const HostProfile *host)
+{
+    w.key("profile");
+    w.beginObject();
+    w.member("elapsed_ticks", std::uint64_t(prof.elapsed));
+
+    w.key("cores");
+    w.beginArray();
+    for (std::size_t c = 0; c < prof.cores.size(); ++c) {
+        w.beginObject();
+        w.member("total", prof.coreTotal(unsigned(c)));
+        w.key("ticks");
+        w.beginObject();
+        for (std::size_t b = 0; b < profBuckets; ++b)
+            w.member(profBucketName(ProfBucket(b)), prof.cores[c][b]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("supervisor");
+    w.beginObject();
+    for (std::size_t c = 0; c < profCharges; ++c)
+        w.member(profChargeName(ProfCharge(c)), prof.charges[c]);
+    w.endObject();
+
+    if (host && host->enabled) {
+        w.key("host");
+        w.beginObject();
+        w.member("sample_interval", host->sampleInterval);
+        w.key("sites");
+        w.beginArray();
+        for (const auto &s : host->sites) {
+            w.beginObject();
+            w.member("name", s.name);
+            w.member("events", s.events);
+            w.member("sampled", s.sampled);
+            w.member("sampled_ns", s.sampledNs);
+            w.member("estimated_ns", s.estimatedNs(host->sampleInterval));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    w.endObject();
+}
+
 } // namespace
 
 void
 emitRunJson(std::ostream &os, const RunManifest &manifest,
-            const StatSnapshot &snap)
+            const StatSnapshot &snap, const ProfSnapshot *prof,
+            const HostProfile *host)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -519,15 +570,19 @@ emitRunJson(std::ostream &os, const RunManifest &manifest,
     }
     w.endObject();
 
+    if (prof && prof->enabled)
+        emitProfile(w, *prof, host);
+
     w.endObject();
 }
 
 bool
 writeRunJson(const std::string &path, const RunManifest &manifest,
-             const StatSnapshot &snap, std::string *err)
+             const StatSnapshot &snap, std::string *err,
+             const ProfSnapshot *prof, const HostProfile *host)
 {
     if (path == "-") {
-        emitRunJson(std::cout, manifest, snap);
+        emitRunJson(std::cout, manifest, snap, prof, host);
         return bool(std::cout);
     }
     std::ofstream f(path);
@@ -536,7 +591,7 @@ writeRunJson(const std::string &path, const RunManifest &manifest,
             *err = "cannot open " + path + " for writing";
         return false;
     }
-    emitRunJson(f, manifest, snap);
+    emitRunJson(f, manifest, snap, prof, host);
     f.flush();
     if (!f) {
         if (err)

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -144,16 +145,36 @@ struct RunManifest
 /** Build id baked in at configure time ("unknown" outside git). */
 const char *gitDescribe();
 
-/** Emit one run as ptm-stats-v1 JSON. */
+/**
+ * Emit one run as ptm-stats-v1 JSON. When @p prof is non-null and
+ * enabled a top-level "profile" section is added:
+ *
+ *     "profile": { "elapsed_ticks": N,
+ *                  "cores": [ { "total": N,
+ *                               "ticks": { "<bucket>": N, ... } }, ... ],
+ *                  "supervisor": { "<charge>": N, ... },
+ *                  "host": { "sample_interval": N,
+ *                            "sites": [ { "name": ..., "events": N,
+ *                                         "sampled": N, "sampled_ns": N,
+ *                                         "estimated_ns": N }, ... ] } }
+ *
+ * Every core's bucket ticks sum to its "total", which equals
+ * "elapsed_ticks". "host" appears only when @p host is non-null and
+ * enabled.
+ */
 void emitRunJson(std::ostream &os, const RunManifest &manifest,
-                 const StatSnapshot &snap);
+                 const StatSnapshot &snap,
+                 const ProfSnapshot *prof = nullptr,
+                 const HostProfile *host = nullptr);
 
 /**
  * Write ptm-stats-v1 JSON to @p path ("-" = stdout).
  * @return true on success; on failure @p err (if non-null) explains.
  */
 bool writeRunJson(const std::string &path, const RunManifest &manifest,
-                  const StatSnapshot &snap, std::string *err = nullptr);
+                  const StatSnapshot &snap, std::string *err = nullptr,
+                  const ProfSnapshot *prof = nullptr,
+                  const HostProfile *host = nullptr);
 
 /**
  * Row-oriented results of one bench binary, written as ptm-bench-v1:

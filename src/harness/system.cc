@@ -51,10 +51,26 @@ System::System(const SystemParams &params)
             vtm->setTracer(&tracer_);
     }
 
+    if (params_.profile.enabled) {
+        profiler_.configure(params_.numCores);
+        profiler_.setClock([this] { return eq_.curTick(); });
+        txmgr_.setProfiler(&profiler_);
+        mem_.setProfiler(&profiler_);
+        os_.setProfiler(&profiler_);
+        if (vts_)
+            vts_->setProfiler(&profiler_);
+        else if (auto *vtm = dynamic_cast<VtmController *>(backend_.get()))
+            vtm->setProfiler(&profiler_);
+    }
+    if (params_.profile.host)
+        eq_.enableHostProfile(params_.profile.hostSampleInterval);
+
     std::vector<Core *> core_ptrs;
     for (unsigned c = 0; c < params_.numCores; ++c) {
         cores_.push_back(std::make_unique<Core>(CoreId(c), params_, eq_,
                                                 mem_, txmgr_, os_));
+        if (params_.profile.enabled)
+            cores_.back()->setProfiler(profiler_);
         core_ptrs.push_back(cores_.back().get());
     }
     os_.attach(&mem_, backend_.get(), std::move(core_ptrs));
@@ -71,35 +87,55 @@ System::regStats()
     sys.addScalar("cycles", [this] {
         return double(os_.lastExitTick() ? os_.lastExitTick()
                                          : eq_.curTick());
-    });
+    }, "simulated ticks until the last thread exited");
     sys.addScalar("hit_tick_limit",
-                  [this] { return hit_limit_ ? 1.0 : 0.0; });
+                  [this] { return hit_limit_ ? 1.0 : 0.0; },
+                  "1 if the run stopped at params.maxTicks");
     sys.addScalar("mem_ops", [this] {
         std::uint64_t n = 0;
         for (const auto &c : cores_)
             n += c->memOps.value();
         return double(n);
-    });
+    }, "memory operations summed over all cores");
     sys.addScalar("mop_per_evict", [this] {
         std::uint64_t evict = mem_.evictions.value();
         std::uint64_t ops = 0;
         for (const auto &c : cores_)
             ops += c->memOps.value();
         return evict ? double(ops) / double(evict) : 0.0;
-    });
+    }, "memory ops per cache eviction (Table 1 'mop/evict')");
     sys.addScalar("conservative_pct", [this] {
         std::size_t pages = os_.uniquePages();
         return pages ? 100.0 * double(os_.txWrittenPages()) /
                            double(pages)
                      : 0.0;
-    });
+    }, "conservative shadow-page overhead bound % (Table 1)");
     sys.addScalar("ideal_pct", [this] {
         std::size_t pages = os_.uniquePages();
         if (!pages || !vts_)
             return 0.0;
         return 100.0 * vts_->liveDirtyPagesStat().mean() /
                double(pages);
-    });
+    }, "idealized shadow-page overhead % (Table 1 'ideal')");
+
+    // "events": event-queue activity by priority (always collected).
+    StatGroup &ev = registry_.addGroup("events");
+    ev.addScalar("scheduled",
+                 [this] { return double(eq_.scheduledEvents()); },
+                 "events scheduled (including cancelled ones)");
+    ev.addScalar("executed",
+                 [this] { return double(eq_.executedEvents()); },
+                 "events executed at any priority");
+    for (unsigned p = 0; p < numEventPriorities; ++p) {
+        ev.addScalar(
+            std::string("executed_") +
+                eventPriorityName(EventPriority(p)),
+            [this, p] {
+                return double(eq_.executedEvents(EventPriority(p)));
+            },
+            std::string("events executed at priority ") +
+                eventPriorityName(EventPriority(p)));
+    }
 
     txmgr_.regStats(registry_);
     mem_.regStats(registry_);
@@ -239,6 +275,9 @@ System::run()
     }
     if (vts_)
         vts_->finishStats(eq_.curTick());
+    // Close every core's accounting at the final queue tick so bucket
+    // totals sum to the elapsed simulated time.
+    profiler_.finish(eq_.curTick());
     // Report workload completion time: the queue may drain later
     // (timer events, background cleanup walks).
     return os_.lastExitTick() ? os_.lastExitTick() : eq_.curTick();

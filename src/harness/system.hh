@@ -190,6 +190,14 @@ class System
     Tracer &tracer() { return tracer_; }
     const Tracer &tracer() const { return tracer_; }
 
+    /**
+     * The cycle-accounting profiler. Inactive (single-branch
+     * recording) unless params.profile.enabled; after run() every
+     * core's bucket totals sum to the final tick.
+     */
+    CycleProfiler &profiler() { return profiler_; }
+    const CycleProfiler &profiler() const { return profiler_; }
+
     /** @name Component access (tests, benches) */
     /// @{
     EventQueue &eq() { return eq_; }
@@ -222,6 +230,7 @@ class System
     SystemParams params_;
     StatRegistry registry_;
     Tracer tracer_;
+    CycleProfiler profiler_;
     EventQueue eq_;
     PhysMem phys_;
     FrameAllocator frames_;

@@ -33,20 +33,27 @@ void
 MemSystem::regStats(StatRegistry &reg)
 {
     StatGroup &g = reg.addGroup("mem");
-    g.addCounter("l1_hits", &l1Hits);
-    g.addCounter("l2_hits", &l2Hits);
-    g.addCounter("misses", &misses);
-    g.addCounter("evictions", &evictions);
-    g.addCounter("tx_evictions", &txEvictions);
-    g.addCounter("writebacks", &writebacks);
-    g.addCounter("conflicts", &conflicts);
-    g.addCounter("false_stalls", &falseStalls);
-    g.addCounter("cache_to_cache", &cacheToCache);
-    g.addCounter("ctxsw_flush_aborts", &ctxswFlushAborts);
+    g.addCounter("l1_hits", &l1Hits, "accesses satisfied by the L1");
+    g.addCounter("l2_hits", &l2Hits, "accesses satisfied by the L2");
+    g.addCounter("misses", &misses, "accesses that went to the bus");
+    g.addCounter("evictions", &evictions, "cache line evictions");
+    g.addCounter("tx_evictions", &txEvictions,
+                 "evictions of transactionally marked lines (overflow)");
+    g.addCounter("writebacks", &writebacks, "dirty-line writebacks");
+    g.addCounter("conflicts", &conflicts,
+                 "conflicting transactional accesses detected");
+    g.addCounter("false_stalls", &falseStalls,
+                 "accesses retried behind in-progress cleanup");
+    g.addCounter("cache_to_cache", &cacheToCache,
+                 "misses satisfied by a peer cache transfer");
+    g.addCounter("ctxsw_flush_aborts", &ctxswFlushAborts,
+                 "aborts caused by context-switch line flushes");
     g.addScalar("bus_transactions",
-                [this] { return double(bus_.transactions()); });
+                [this] { return double(bus_.transactions()); },
+                "coherence bus transactions issued");
     g.addScalar("dram_accesses",
-                [this] { return double(dram_.accesses()); });
+                [this] { return double(dram_.accesses()); },
+                "DRAM accesses issued");
 }
 
 std::uint16_t
@@ -224,6 +231,8 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
         extra += cr.extraLatency;
         if (cr.stall) {
             ++falseStalls;
+            prof_->charge(ProfCharge::FalseStall,
+                          retryDelay + cr.extraLatency);
             scheduleRetry(acc, std::move(cb),
                           grant_tick + retryDelay + cr.extraLatency,
                           attempt + 1);
@@ -508,11 +517,15 @@ MemSystem::evictLine(CoreId c, CacheLine &victim)
         ++txEvictions;
         tracer_->record(TraceEventType::OverflowSpill, c, traceNoId,
                         m.tx, invalidTxId, victim.addr);
-        if (backend_)
-            lat += backend_->evictTxBlock(victim.addr, m.tx,
-                                          m.writeWords != 0,
-                                          victim.data, m.readWords,
-                                          m.writeWords);
+        if (backend_) {
+            Tick spill = backend_->evictTxBlock(victim.addr, m.tx,
+                                                m.writeWords != 0,
+                                                victim.data,
+                                                m.readWords,
+                                                m.writeWords);
+            prof_->charge(ProfCharge::OverflowSpill, spill);
+            lat += spill;
+        }
         spec_words |= m.writeWords;
     }
 

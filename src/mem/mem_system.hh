@@ -88,6 +88,9 @@ class MemSystem
     /** Attach the event tracer (System wiring; defaults to nil). */
     void setTracer(Tracer *t) { tracer_ = t; }
 
+    /** Attach the cycle profiler (System wiring; defaults to nil). */
+    void setProfiler(CycleProfiler *p) { prof_ = p; }
+
     /**
      * Attempt to complete @p acc without a bus transaction.
      * @return (latency, result) if it hit locally, std::nullopt if the
@@ -258,6 +261,7 @@ class MemSystem
     TxManager &txmgr_;
     TmBackend *backend_ = nullptr;
     Tracer *tracer_ = &Tracer::nil();
+    CycleProfiler *prof_ = &CycleProfiler::nil();
 
     BusModel bus_;
     DramModel dram_;

@@ -63,29 +63,50 @@ void
 Vts::regStats(StatRegistry &reg)
 {
     StatGroup &g = reg.addGroup("vts");
-    g.addCounter("shadow_allocs", &shadowAllocs);
-    g.addCounter("shadow_frees", &shadowFrees);
-    g.addCounter("tav_nodes_created", &tavNodesCreated);
-    g.addCounter("commit_walk_nodes", &commitWalkNodes);
-    g.addCounter("abort_walk_nodes", &abortWalkNodes);
-    g.addCounter("abort_restore_units", &abortRestoreUnits);
-    g.addCounter("copy_backups", &copyBackups);
-    g.addCounter("stalls_signalled", &stallsSignalled);
-    g.addCounter("lazy_migrations", &lazyMigrations);
-    g.addCounter("spt_cache_hits", &sptCache.hits);
-    g.addCounter("spt_cache_misses", &sptCache.misses);
-    g.addCounter("spt_cache_dirty_evictions", &sptCache.dirtyEvictions);
-    g.addCounter("tav_cache_hits", &tavCache.hits);
-    g.addCounter("tav_cache_misses", &tavCache.misses);
-    g.addCounter("tav_cache_dirty_evictions", &tavCache.dirtyEvictions);
+    g.addCounter("shadow_allocs", &shadowAllocs,
+                 "shadow pages allocated");
+    g.addCounter("shadow_frees", &shadowFrees, "shadow pages freed");
+    g.addCounter("tav_nodes_created", &tavNodesCreated,
+                 "TAV nodes created for overflowed blocks");
+    g.addCounter("commit_walk_nodes", &commitWalkNodes,
+                 "TAV nodes visited by commit cleanup walks");
+    g.addCounter("abort_walk_nodes", &abortWalkNodes,
+                 "TAV nodes visited by abort cleanup walks");
+    g.addCounter("abort_restore_units", &abortRestoreUnits,
+                 "blocks/words restored from backups on abort");
+    g.addCounter("copy_backups", &copyBackups,
+                 "Copy-PTM backup copies taken on first overflow");
+    g.addCounter("stalls_signalled", &stallsSignalled,
+                 "accesses told to stall behind cleanup");
+    g.addCounter("lazy_migrations", &lazyMigrations,
+                 "committed blocks lazily migrated to the home page");
+    g.addCounter("spt_cache_hits", &sptCache.hits,
+                 "SPT cache hits in the memory controller");
+    g.addCounter("spt_cache_misses", &sptCache.misses,
+                 "SPT cache misses (DRAM walk)");
+    g.addCounter("spt_cache_dirty_evictions", &sptCache.dirtyEvictions,
+                 "dirty SPT cache entries written back on eviction");
+    g.addCounter("tav_cache_hits", &tavCache.hits,
+                 "TAV cache hits in the memory controller");
+    g.addCounter("tav_cache_misses", &tavCache.misses,
+                 "TAV cache misses (DRAM walk)");
+    g.addCounter("tav_cache_dirty_evictions", &tavCache.dirtyEvictions,
+                 "dirty TAV cache entries written back on eviction");
     g.addScalar("live_shadow_pages",
-                [this] { return double(liveShadowPages()); });
-    g.addTimeWeighted("avg_live_dirty_pages", &live_dirty_);
-    g.addDistribution("commit_cleanup_latency", &commitCleanupLatency);
-    g.addDistribution("abort_cleanup_latency", &abortCleanupLatency);
-    g.addDistribution("spt_walk_len", &sptWalkLen);
-    g.addDistribution("tav_walk_len", &tavWalkLen);
-    g.addDistribution("overflow_pages_per_tx", &overflowPagesPerTx);
+                [this] { return double(liveShadowPages()); },
+                "shadow pages currently allocated");
+    g.addTimeWeighted("avg_live_dirty_pages", &live_dirty_,
+                      "time-weighted live dirty pages (Table 1)");
+    g.addDistribution("commit_cleanup_latency", &commitCleanupLatency,
+                      "ticks from logical commit to cleanup done");
+    g.addDistribution("abort_cleanup_latency", &abortCleanupLatency,
+                      "ticks from logical abort to cleanup done");
+    g.addDistribution("spt_walk_len", &sptWalkLen,
+                      "DRAM accesses per SPT miss walk");
+    g.addDistribution("tav_walk_len", &tavWalkLen,
+                      "DRAM accesses per TAV miss walk");
+    g.addDistribution("overflow_pages_per_tx", &overflowPagesPerTx,
+                      "distinct overflowed pages per transaction");
 }
 
 Vts::~Vts()
@@ -173,8 +194,10 @@ Vts::sptLookupCost(PageNum home)
     }
     if (evicted_dirty)
         done = dram_.access(done);
-    return hit ? params_.vtsCacheLatency
-               : std::max(done - now, params_.vtsCacheLatency);
+    Tick cost = hit ? params_.vtsCacheLatency
+                    : std::max(done - now, params_.vtsCacheLatency);
+    prof_->charge(ProfCharge::MetaLookup, cost);
+    return cost;
 }
 
 Tick
@@ -195,6 +218,7 @@ Vts::tavLookupCost(PageNum home, TxId tx, bool mark_dirty)
         done = dram_.access(now);
     if (evicted_dirty)
         done = dram_.access(done);
+    prof_->charge(ProfCharge::TavLookup, done - now);
     return done - now;
 }
 
@@ -724,6 +748,9 @@ Vts::cleanupStep(TxId tx)
         }
     }
     supervisor_free_ = done;
+    prof_->charge(job.isCommit ? ProfCharge::CommitCleanup
+                               : ProfCharge::AbortCleanup,
+                  done - t);
 
     eq_.schedule(done, EventPriority::Supervisor, [this, tx]() {
         CleanupJob &j = jobs_.at(tx);

@@ -113,6 +113,9 @@ class Vts : public TmBackend
     /** Attach the event tracer (System wiring; defaults to nil). */
     void setTracer(Tracer *t) { tracer_ = t; }
 
+    /** Attach the cycle profiler (System wiring; defaults to nil). */
+    void setProfiler(CycleProfiler *p) { prof_ = p; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -241,6 +244,7 @@ class Vts : public TmBackend
     FrameAllocator &frames_;
     DramModel &dram_;
     Tracer *tracer_ = &Tracer::nil();
+    CycleProfiler *prof_ = &CycleProfiler::nil();
     PageGran gran_;
     bool select_;
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/profile.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -193,6 +194,9 @@ struct SystemParams
 
     /** Event tracing (off unless trace.path is set). */
     TraceParams trace;
+
+    /** Cycle-accounting / host profiling (off by default). */
+    ProfileParams profile;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -10,13 +10,18 @@
 #ifndef PTM_SIM_EVENT_QUEUE_HH
 #define PTM_SIM_EVENT_QUEUE_HH
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 #include "sim/types.hh"
 
 namespace ptm
@@ -39,6 +44,28 @@ enum class EventPriority : int
     /** Miscellaneous bookkeeping; always last in a tick. */
     Stats = 4,
 };
+
+/** Number of distinct EventPriority values. */
+constexpr unsigned numEventPriorities = 5;
+
+/** Short name of a priority ("memory", "cpu", ...). */
+constexpr const char *
+eventPriorityName(EventPriority p)
+{
+    switch (p) {
+      case EventPriority::Memory:
+        return "memory";
+      case EventPriority::Supervisor:
+        return "supervisor";
+      case EventPriority::Cpu:
+        return "cpu";
+      case EventPriority::Os:
+        return "os";
+      case EventPriority::Stats:
+        return "stats";
+    }
+    return "?";
+}
 
 /**
  * The global event queue. Callbacks are std::functions; cancellation is
@@ -87,28 +114,35 @@ class EventQueue
         return cur_tick_;
     }
 
+    /** Sentinel site id: attribute to the priority's default site. */
+    static constexpr std::uint16_t noSite = 0xffff;
+
     /**
-     * Schedule @p fn to run at absolute tick @p when.
+     * Schedule @p fn to run at absolute tick @p when. @p site (from
+     * siteId()) attributes the callback for host profiling; untagged
+     * events fall back to their priority's default site.
      * @return a handle that can cancel the event.
      */
     Handle
-    schedule(Tick when, EventPriority prio, std::function<void()> fn)
+    schedule(Tick when, EventPriority prio, std::function<void()> fn,
+             std::uint16_t site = noSite)
     {
         panic_if(when < cur_tick_,
                  "scheduling event in the past (%llu < %llu)",
                  (unsigned long long)when,
                  (unsigned long long)cur_tick_);
         auto alive = std::make_shared<bool>(true);
-        heap_.push(Entry{when, int(prio), seq_++, alive,
+        heap_.push(Entry{when, int(prio), site, seq_++, alive,
                          std::move(fn)});
         return Handle(alive);
     }
 
     /** Schedule @p fn to run @p delta ticks from now. */
     Handle
-    scheduleIn(Tick delta, EventPriority prio, std::function<void()> fn)
+    scheduleIn(Tick delta, EventPriority prio, std::function<void()> fn,
+               std::uint16_t site = noSite)
     {
-        return schedule(cur_tick_ + delta, prio, std::move(fn));
+        return schedule(cur_tick_ + delta, prio, std::move(fn), site);
     }
 
     /** True if no live events remain. */
@@ -137,28 +171,135 @@ class EventQueue
             cur_tick_ = e.when;
             if (*e.alive) {
                 *e.alive = false;
-                e.fn();
+                ++executed_[std::size_t(e.prio)];
+                if (host_profile_)
+                    execProfiled(e);
+                else
+                    e.fn();
             }
         }
         return true;
     }
 
-    /** Total number of events executed (for stats/testing). */
+    /** Total number of events scheduled (for stats/testing). */
     std::uint64_t
-    executedEvents() const
+    scheduledEvents() const
     {
         return seq_;
     }
+
+    /** @name Executed-event accounting (always on) */
+    /// @{
+    /** Events executed at priority @p p. */
+    std::uint64_t
+    executedEvents(EventPriority p) const
+    {
+        return executed_[std::size_t(p)];
+    }
+
+    /** Events executed at any priority. */
+    std::uint64_t
+    executedEvents() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t v : executed_)
+            n += v;
+        return n;
+    }
+    /// @}
+
+    /** @name Host-side event-loop profiling */
+    /// @{
+    /**
+     * Intern a callback-site name for host profiling; components cache
+     * the returned id and pass it to schedule(). Ids 0..4 are the
+     * per-priority default sites.
+     */
+    std::uint16_t
+    siteId(const std::string &name)
+    {
+        auto it = site_index_.find(name);
+        if (it != site_index_.end())
+            return it->second;
+        panic_if(sites_.size() >= noSite, "too many profile sites");
+        auto id = std::uint16_t(sites_.size());
+        sites_.push_back(SiteCounters{name, 0, 0, 0});
+        site_index_.emplace(name, id);
+        return id;
+    }
+
+    /**
+     * Turn on wall-clock profiling of the run loop: per-site event
+     * counts, with the host time of every @p sample_interval-th event
+     * measured so the overhead stays small.
+     */
+    void
+    enableHostProfile(unsigned sample_interval)
+    {
+        host_profile_ = true;
+        host_interval_ = sample_interval ? sample_interval : 1;
+    }
+
+    /** Captured per-site host profile (empty sites elided). */
+    HostProfile
+    hostProfile() const
+    {
+        HostProfile h;
+        h.enabled = host_profile_;
+        h.sampleInterval = host_interval_;
+        for (const SiteCounters &s : sites_) {
+            if (!s.events)
+                continue;
+            HostProfile::Site out;
+            out.name = s.name;
+            out.events = s.events;
+            out.sampled = s.sampled;
+            out.sampledNs = s.ns;
+            h.sites.push_back(std::move(out));
+        }
+        return h;
+    }
+    /// @}
 
   private:
     struct Entry
     {
         Tick when;
         int prio;
+        std::uint16_t site;
         std::uint64_t seq;
         std::shared_ptr<bool> alive;
         std::function<void()> fn;
     };
+
+    struct SiteCounters
+    {
+        std::string name;
+        std::uint64_t events = 0;
+        std::uint64_t sampled = 0;
+        std::uint64_t ns = 0;
+    };
+
+    void
+    execProfiled(Entry &e)
+    {
+        std::size_t site = e.site == noSite ? std::size_t(e.prio)
+                                            : std::size_t(e.site);
+        SiteCounters &s = sites_[site];
+        ++s.events;
+        if (++host_count_ >= host_interval_) {
+            host_count_ = 0;
+            auto t0 = std::chrono::steady_clock::now();
+            e.fn();
+            auto dt = std::chrono::steady_clock::now() - t0;
+            s.ns += std::uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count());
+            ++s.sampled;
+        } else {
+            e.fn();
+        }
+    }
 
     struct Later
     {
@@ -183,6 +324,25 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick cur_tick_ = 0;
     std::uint64_t seq_ = 0;
+
+    /** Executed-event counters, indexed by priority (always on). */
+    std::array<std::uint64_t, numEventPriorities> executed_{};
+
+    /** Site table; slots 0..4 are the per-priority default sites. */
+    std::vector<SiteCounters> sites_{
+        SiteCounters{"memory", 0, 0, 0},
+        SiteCounters{"supervisor", 0, 0, 0},
+        SiteCounters{"cpu", 0, 0, 0},
+        SiteCounters{"os", 0, 0, 0},
+        SiteCounters{"stats", 0, 0, 0},
+    };
+    std::map<std::string, std::uint16_t> site_index_{
+        {"memory", 0}, {"supervisor", 1}, {"cpu", 2},
+        {"os", 3},     {"stats", 4},
+    };
+    bool host_profile_ = false;
+    unsigned host_interval_ = 32;
+    unsigned host_count_ = 0;
 };
 
 } // namespace ptm

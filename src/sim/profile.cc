@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Cycle-accounting profiler implementation.
+ */
+
+#include "sim/profile.hh"
+
+#include "sim/logging.hh"
+
+namespace ptm
+{
+
+const char *
+profBucketName(ProfBucket b)
+{
+    switch (b) {
+      case ProfBucket::Idle:
+        return "idle";
+      case ProfBucket::NonTx:
+        return "non_tx";
+      case ProfBucket::TxUseful:
+        return "tx_useful";
+      case ProfBucket::TxWasted:
+        return "tx_wasted";
+      case ProfBucket::StallL1:
+        return "stall_l1";
+      case ProfBucket::StallL2:
+        return "stall_l2";
+      case ProfBucket::StallMem:
+        return "stall_mem";
+      case ProfBucket::StallXlat:
+        return "stall_xlat";
+      case ProfBucket::FaultSwap:
+        return "fault_swap";
+      case ProfBucket::TxBegin:
+        return "tx_begin";
+      case ProfBucket::TxCommit:
+        return "tx_commit";
+      case ProfBucket::TxAbort:
+        return "tx_abort";
+      case ProfBucket::CtxSwitch:
+        return "ctx_switch";
+      case ProfBucket::Barrier:
+        return "barrier";
+      case ProfBucket::NumBuckets:
+        break;
+    }
+    return "?";
+}
+
+const char *
+profChargeName(ProfCharge c)
+{
+    switch (c) {
+      case ProfCharge::MetaLookup:
+        return "meta_lookup";
+      case ProfCharge::TavLookup:
+        return "tav_lookup";
+      case ProfCharge::CommitCleanup:
+        return "commit_cleanup";
+      case ProfCharge::AbortCleanup:
+        return "abort_cleanup";
+      case ProfCharge::OverflowSpill:
+        return "overflow_spill";
+      case ProfCharge::FalseStall:
+        return "false_stall";
+      case ProfCharge::PageFault:
+        return "page_fault";
+      case ProfCharge::SwapIo:
+        return "swap_io";
+      case ProfCharge::CommittedTxTicks:
+        return "committed_tx_ticks";
+      case ProfCharge::AbortedTxTicks:
+        return "aborted_tx_ticks";
+      case ProfCharge::NumCharges:
+        break;
+    }
+    return "?";
+}
+
+void
+CycleProfiler::configure(unsigned cores)
+{
+    panic_if(cores == 0, "profiling zero cores");
+    lanes_.assign(cores, Lane{});
+    for (Lane &l : lanes_)
+        l.stack.push_back(std::uint8_t(ProfBucket::Idle));
+    charges_.fill(0);
+    end_ = 0;
+    enabled_ = true;
+}
+
+CycleProfiler::Lane &
+CycleProfiler::lane(unsigned core)
+{
+    panic_if(core >= lanes_.size(), "profiling unknown core %u", core);
+    return lanes_[core];
+}
+
+void
+CycleProfiler::accrue(Lane &l, Tick now)
+{
+    if (now > l.last) {
+        std::uint8_t top = l.stack.back();
+        if (top == kPending)
+            l.pending += now - l.last;
+        else
+            l.buckets[top] += now - l.last;
+        l.last = now;
+    }
+}
+
+void
+CycleProfiler::doSet(unsigned core, std::uint8_t b)
+{
+    Lane &l = lane(core);
+    accrue(l, now());
+    l.stack.back() = b;
+}
+
+void
+CycleProfiler::doPush(unsigned core, std::uint8_t b)
+{
+    Lane &l = lane(core);
+    accrue(l, now());
+    l.stack.push_back(b);
+}
+
+void
+CycleProfiler::doPop(unsigned core)
+{
+    Lane &l = lane(core);
+    accrue(l, now());
+    panic_if(l.stack.size() <= 1,
+             "phase pop would empty core %u's stack", core);
+    l.stack.pop_back();
+}
+
+void
+CycleProfiler::doResolveTx(unsigned core, bool committed)
+{
+    Lane &l = lane(core);
+    accrue(l, now());
+    ProfBucket to =
+        committed ? ProfBucket::TxUseful : ProfBucket::TxWasted;
+    l.buckets[unsigned(to)] += l.pending;
+    l.pending = 0;
+}
+
+void
+CycleProfiler::doCollapse(unsigned core, std::uint8_t b)
+{
+    Lane &l = lane(core);
+    accrue(l, now());
+    l.stack.resize(1);
+    l.stack.back() = b;
+}
+
+void
+CycleProfiler::finish(Tick end)
+{
+    if (!enabled_)
+        return;
+    end_ = end;
+    for (Lane &l : lanes_) {
+        accrue(l, end);
+        // Attempts still unresolved at the end of a (tick-limited) run
+        // never committed: their execution was wasted.
+        l.buckets[unsigned(ProfBucket::TxWasted)] += l.pending;
+        l.pending = 0;
+    }
+}
+
+ProfSnapshot
+CycleProfiler::snapshot() const
+{
+    ProfSnapshot s;
+    s.enabled = enabled_;
+    s.elapsed = end_;
+    for (const Lane &l : lanes_)
+        s.cores.push_back(l.buckets);
+    s.charges = charges_;
+    return s;
+}
+
+CycleProfiler &
+CycleProfiler::nil()
+{
+    static CycleProfiler n;
+    return n;
+}
+
+} // namespace ptm

@@ -151,20 +151,24 @@ StatGroup::addRef(StatRef ref)
 }
 
 void
-StatGroup::addCounter(const std::string &stat_name, const Counter *c)
+StatGroup::addCounter(const std::string &stat_name, const Counter *c,
+                      const std::string &desc)
 {
     StatRef r;
     r.name = stat_name;
+    r.desc = desc;
     r.kind = StatKind::Counter;
     r.counter = c;
     addRef(std::move(r));
 }
 
 void
-StatGroup::addAverage(const std::string &stat_name, const Average *a)
+StatGroup::addAverage(const std::string &stat_name, const Average *a,
+                      const std::string &desc)
 {
     StatRef r;
     r.name = stat_name;
+    r.desc = desc;
     r.kind = StatKind::Average;
     r.average = a;
     addRef(std::move(r));
@@ -172,10 +176,12 @@ StatGroup::addAverage(const std::string &stat_name, const Average *a)
 
 void
 StatGroup::addTimeWeighted(const std::string &stat_name,
-                           const TimeWeighted *t)
+                           const TimeWeighted *t,
+                           const std::string &desc)
 {
     StatRef r;
     r.name = stat_name;
+    r.desc = desc;
     r.kind = StatKind::TimeWeighted;
     r.timeWeighted = t;
     addRef(std::move(r));
@@ -183,10 +189,12 @@ StatGroup::addTimeWeighted(const std::string &stat_name,
 
 void
 StatGroup::addDistribution(const std::string &stat_name,
-                           const Distribution *d)
+                           const Distribution *d,
+                           const std::string &desc)
 {
     StatRef r;
     r.name = stat_name;
+    r.desc = desc;
     r.kind = StatKind::Distribution;
     r.distribution = d;
     addRef(std::move(r));
@@ -194,10 +202,12 @@ StatGroup::addDistribution(const std::string &stat_name,
 
 void
 StatGroup::addScalar(const std::string &stat_name,
-                     std::function<double()> fn)
+                     std::function<double()> fn,
+                     const std::string &desc)
 {
     StatRef r;
     r.name = stat_name;
+    r.desc = desc;
     r.kind = StatKind::Scalar;
     r.scalar = std::move(fn);
     addRef(std::move(r));

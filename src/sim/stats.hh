@@ -203,6 +203,8 @@ const char *statKindName(StatKind k);
 struct StatRef
 {
     std::string name;
+    /** Human-readable one-liner for --list-stats (may be empty). */
+    std::string desc;
     StatKind kind = StatKind::Counter;
     const Counter *counter = nullptr;
     const Average *average = nullptr;
@@ -223,17 +225,26 @@ class StatGroup
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    /** @name Registration (panics on a duplicate @p stat_name) */
+    /**
+     * @name Registration (panics on a duplicate @p stat_name)
+     * The optional trailing @p desc is the human-readable description
+     * surfaced by --list-stats.
+     */
     /// @{
-    void addCounter(const std::string &stat_name, const Counter *c);
-    void addAverage(const std::string &stat_name, const Average *a);
+    void addCounter(const std::string &stat_name, const Counter *c,
+                    const std::string &desc = "");
+    void addAverage(const std::string &stat_name, const Average *a,
+                    const std::string &desc = "");
     void addTimeWeighted(const std::string &stat_name,
-                         const TimeWeighted *t);
+                         const TimeWeighted *t,
+                         const std::string &desc = "");
     void addDistribution(const std::string &stat_name,
-                         const Distribution *d);
+                         const Distribution *d,
+                         const std::string &desc = "");
     /** Register a derived value computed by @p fn at read time. */
     void addScalar(const std::string &stat_name,
-                   std::function<double()> fn);
+                   std::function<double()> fn,
+                   const std::string &desc = "");
     /// @}
 
     const std::string &name() const { return name_; }

@@ -14,14 +14,20 @@ void
 TxManager::regStats(StatRegistry &reg)
 {
     StatGroup &g = reg.addGroup("tx");
-    g.addCounter("commits", &commits);
-    g.addCounter("aborts", &aborts);
-    g.addCounter("aborts_conflict", &abortsConflict);
-    g.addCounter("aborts_nontx", &abortsNonTx);
-    g.addCounter("aborts_multiwriter", &abortsMultiWriter);
-    g.addCounter("aborts_explicit", &abortsExplicit);
-    g.addCounter("nested_begins", &nestedBegins);
-    g.addCounter("ordered_waits", &orderedWaits);
+    g.addCounter("commits", &commits, "transactions committed");
+    g.addCounter("aborts", &aborts, "transaction attempts aborted");
+    g.addCounter("aborts_conflict", &abortsConflict,
+                 "aborts after losing eager arbitration");
+    g.addCounter("aborts_nontx", &abortsNonTx,
+                 "aborts from non-transactional conflicts");
+    g.addCounter("aborts_multiwriter", &abortsMultiWriter,
+                 "aborts from multi-writer block evictions (wd:cache)");
+    g.addCounter("aborts_explicit", &abortsExplicit,
+                 "workload-injected explicit aborts");
+    g.addCounter("nested_begins", &nestedBegins,
+                 "nested tx_begins flattened into the outer tx");
+    g.addCounter("ordered_waits", &orderedWaits,
+                 "ordered commits that waited for the token");
 }
 
 const char *
@@ -145,6 +151,8 @@ TxManager::doLogicalCommit(Transaction &tx)
     ++commits;
     tracer_->record(TraceEventType::TxCommit, traceNoId, tx.thread,
                     tx.id);
+    prof_->charge(ProfCharge::CommittedTxTicks,
+                  prof_->now() - tx.beginTick);
 
     if (onLogicalCommit)
         onLogicalCommit(tx.id);
@@ -202,6 +210,8 @@ TxManager::abort(TxId id, AbortReason why)
     }
     tracer_->record(TraceEventType::TxAbort, traceNoId, tx->thread, id,
                     invalidTxId, std::uint64_t(why));
+    prof_->charge(ProfCharge::AbortedTxTicks,
+                  prof_->now() - tx->beginTick);
 
     if (tx->ordered) {
         OrderedScope &sc = scopes_[tx->scope];

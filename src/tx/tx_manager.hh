@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -169,6 +170,9 @@ class TxManager
     /** Attach the event tracer (System wiring; defaults to nil). */
     void setTracer(Tracer *t) { tracer_ = t; }
 
+    /** Attach the cycle profiler (System wiring; defaults to nil). */
+    void setProfiler(CycleProfiler *p) { prof_ = p; }
+
     /** @name Statistics */
     /// @{
     Counter commits;
@@ -195,6 +199,7 @@ class TxManager
     void doLogicalCommit(Transaction &tx);
 
     Tracer *tracer_ = &Tracer::nil();
+    CycleProfiler *prof_ = &CycleProfiler::nil();
     std::unordered_map<TxId, Transaction> table_;
     std::unordered_map<ThreadId, TxId> active_by_thread_;
     std::vector<OrderedScope> scopes_;

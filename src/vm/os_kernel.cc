@@ -36,26 +36,32 @@ void
 OsKernel::regStats(StatRegistry &reg)
 {
     StatGroup &g = reg.addGroup("os");
-    g.addCounter("exceptions", &exceptions);
-    g.addCounter("page_faults", &pageFaults);
-    g.addCounter("swap_ins", &swapIns);
-    g.addCounter("swap_outs", &swapOuts);
-    g.addCounter("context_switches", &contextSwitches);
-    g.addCounter("tlb_shootdowns", &tlbShootdowns);
-    g.addScalar("pages", [this] { return double(uniquePages()); });
-    g.addScalar("pg_x_wr", [this] { return double(txWrittenPages()); });
+    g.addCounter("exceptions", &exceptions,
+                 "software exceptions taken (Table 1)");
+    g.addCounter("page_faults", &pageFaults,
+                 "page faults handled by the OS");
+    g.addCounter("swap_ins", &swapIns, "pages swapped in from disk");
+    g.addCounter("swap_outs", &swapOuts, "pages swapped out to disk");
+    g.addCounter("context_switches", &contextSwitches,
+                 "thread context switches (Table 1)");
+    g.addCounter("tlb_shootdowns", &tlbShootdowns,
+                 "TLB shootdowns after unmapping a page");
+    g.addScalar("pages", [this] { return double(uniquePages()); },
+                "unique virtual pages touched (Table 1 'pages')");
+    g.addScalar("pg_x_wr", [this] { return double(txWrittenPages()); },
+                "pages transactionally written (Table 1 'pg-x-wr')");
     g.addScalar("tlb_hits", [this] {
         std::uint64_t n = 0;
         for (const auto &t : tlbs_)
             n += t->hits.value();
         return double(n);
-    });
+    }, "TLB hits summed over all cores");
     g.addScalar("tlb_misses", [this] {
         std::uint64_t n = 0;
         for (const auto &t : tlbs_)
             n += t->misses.value();
         return double(n);
-    });
+    }, "TLB misses summed over all cores");
 }
 
 ProcId
@@ -115,7 +121,9 @@ OsKernel::translate(CoreId core, ProcId proc, Addr vaddr, bool write)
     PageMapping &m = resolve(pte);
 
     if (m.state != PageMapping::State::Resident) {
-        r.latency += handleFault(proc, vpage, m);
+        Tick fault_lat = handleFault(proc, vpage, m);
+        prof_->charge(ProfCharge::PageFault, fault_lat);
+        r.latency += fault_lat;
         r.faulted = true;
     }
 
@@ -137,6 +145,7 @@ OsKernel::handleFault(ProcId proc, PageNum vpage, PageMapping &m)
     if (m.state == PageMapping::State::Swapped) {
         // Swap the page (and, via the backend, its shadow) back in.
         ++swapIns;
+        prof_->charge(ProfCharge::SwapIo, params_.swapLatency);
         lat += params_.swapLatency;
         m.frame = frames_.alloc();
         tracer_->record(TraceEventType::SwapIn, traceNoId, traceNoId,
@@ -203,6 +212,7 @@ OsKernel::swapOutOne()
         }
 
         ++swapOuts;
+        prof_->charge(ProfCharge::SwapIo, params_.swapLatency);
         lat += params_.swapLatency;
         std::uint64_t slot = next_swap_slot_++;
         tracer_->record(TraceEventType::SwapOut, traceNoId, traceNoId,
@@ -272,6 +282,12 @@ OsKernel::threadExited(ThreadCtx *t)
     panic_if(live_threads_ == 0, "thread exit underflow");
     --live_threads_;
     last_exit_ = eq_.curTick();
+    // A daemon preemption scheduled up to 1.5 daemonIntervals out
+    // would otherwise keep advancing the queue clock long after the
+    // workload ends, inflating the elapsed time the profiler (and any
+    // time-weighted stat) closes against.
+    if (live_threads_ == 0)
+        daemon_timer_.cancel();
 }
 
 unsigned
@@ -312,7 +328,7 @@ OsKernel::startTimers()
     // daemonInterval-cycle intervals.
     Tick jitter = params_.daemonInterval / 2 +
                   rng_.below(std::uint32_t(params_.daemonInterval));
-    eq_.scheduleIn(jitter, EventPriority::Os, [this] {
+    daemon_timer_ = eq_.scheduleIn(jitter, EventPriority::Os, [this] {
         if (live_threads_ == 0)
             return; // workload done: let the queue drain
         Core *victim = cores_[rng_.below(unsigned(cores_.size()))];

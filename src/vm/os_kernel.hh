@@ -153,6 +153,9 @@ class OsKernel
     /** The attached tracer (Core records its scheduling events). */
     Tracer &tracer() { return *tracer_; }
 
+    /** Attach the cycle profiler (System wiring; defaults to nil). */
+    void setProfiler(CycleProfiler *p) { prof_ = p; }
+
     /** @name Statistics */
     /// @{
     Counter exceptions;      //!< software faults taken (Table 1)
@@ -222,6 +225,7 @@ class OsKernel
     MemSystem *mem_ = nullptr;
     TmBackend *backend_ = nullptr;
     Tracer *tracer_ = &Tracer::nil();
+    CycleProfiler *prof_ = &CycleProfiler::nil();
     std::vector<Core *> cores_;
     std::vector<std::unique_ptr<Tlb>> tlbs_;
 
@@ -236,6 +240,8 @@ class OsKernel
     std::deque<ThreadCtx *> ready_;
     unsigned live_threads_ = 0;
     Tick last_exit_ = 0;
+    /** Pending daemon preemption; cancelled once the workload ends. */
+    EventQueue::Handle daemon_timer_;
 
     struct Barrier
     {

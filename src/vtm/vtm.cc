@@ -30,20 +30,33 @@ void
 VtmController::regStats(StatRegistry &reg)
 {
     StatGroup &g = reg.addGroup("vtm");
-    g.addCounter("xadt_inserts", &xadtInserts);
-    g.addCounter("xadt_walks", &xadtWalks);
-    g.addCounter("xf_filtered", &xfFiltered);
-    g.addCounter("xadc_hits", &xadcHits);
-    g.addCounter("xadc_misses", &xadcMisses);
-    g.addCounter("copybacks", &copybacks);
-    g.addCounter("victim_hits", &victimHits);
-    g.addCounter("victim_writebacks", &victimWritebacks);
-    g.addCounter("stalls_signalled", &stallsSignalled);
-    g.addScalar("xadt_entries", [this] { return double(xadt_.size()); });
-    g.addDistribution("commit_cleanup_latency", &commitCleanupLatency);
-    g.addDistribution("abort_cleanup_latency", &abortCleanupLatency);
-    g.addDistribution("xadt_walk_len", &xadtWalkLen);
-    g.addDistribution("overflow_blocks_per_tx", &overflowBlocksPerTx);
+    g.addCounter("xadt_inserts", &xadtInserts,
+                 "blocks inserted into the XADT on overflow");
+    g.addCounter("xadt_walks", &xadtWalks,
+                 "XADT hash-bucket walks on XADC misses");
+    g.addCounter("xf_filtered", &xfFiltered,
+                 "accesses filtered by the XF Bloom filter");
+    g.addCounter("xadc_hits", &xadcHits, "XADC metadata-cache hits");
+    g.addCounter("xadc_misses", &xadcMisses,
+                 "XADC metadata-cache misses");
+    g.addCounter("copybacks", &copybacks,
+                 "committed XADT blocks copied back to memory");
+    g.addCounter("victim_hits", &victimHits,
+                 "VC-VTM victim-cache data hits");
+    g.addCounter("victim_writebacks", &victimWritebacks,
+                 "victim-cache entries written back");
+    g.addCounter("stalls_signalled", &stallsSignalled,
+                 "accesses told to stall behind cleanup");
+    g.addScalar("xadt_entries", [this] { return double(xadt_.size()); },
+                "XADT entries currently live");
+    g.addDistribution("commit_cleanup_latency", &commitCleanupLatency,
+                      "ticks from logical commit to cleanup done");
+    g.addDistribution("abort_cleanup_latency", &abortCleanupLatency,
+                      "ticks from logical abort to cleanup done");
+    g.addDistribution("xadt_walk_len", &xadtWalkLen,
+                      "entries examined per XADT walk");
+    g.addDistribution("overflow_blocks_per_tx", &overflowBlocksPerTx,
+                      "overflowed blocks per transaction");
 }
 
 Tick
@@ -53,6 +66,7 @@ VtmController::xadcLookup(Addr block, bool allocate)
     if (it != xadc_.end()) {
         it->second.lastUse = ++xadc_clock_;
         ++xadcHits;
+        prof_->charge(ProfCharge::MetaLookup, params_.vtsCacheLatency);
         return params_.vtsCacheLatency;
     }
     ++xadcMisses;
@@ -71,6 +85,7 @@ VtmController::xadcLookup(Addr block, bool allocate)
         }
         xadc_[block] = CacheEntry{++xadc_clock_};
     }
+    prof_->charge(ProfCharge::MetaLookup, done - now);
     return done - now;
 }
 
@@ -388,6 +403,9 @@ VtmController::cleanupStep(TxId tx)
         done = dram_.write(done); // the data write to memory
     }
     supervisor_free_ = done;
+    prof_->charge(job.isCommit ? ProfCharge::CommitCleanup
+                               : ProfCharge::AbortCleanup,
+                  done - t);
 
     eq_.schedule(done, EventPriority::Supervisor, [this, tx]() {
         CleanupJob &j = jobs_.at(tx);

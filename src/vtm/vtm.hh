@@ -101,6 +101,9 @@ class VtmController : public TmBackend
     /** Attach the event tracer (System wiring; defaults to nil). */
     void setTracer(Tracer *t) { tracer_ = t; }
 
+    /** Attach the cycle profiler (System wiring; defaults to nil). */
+    void setProfiler(CycleProfiler *p) { prof_ = p; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -185,6 +188,7 @@ class VtmController : public TmBackend
     TxManager &txmgr_;
     DramModel &dram_;
     Tracer *tracer_ = &Tracer::nil();
+    CycleProfiler *prof_ = &CycleProfiler::nil();
     bool vc_enabled_;
 
     XFilter xf_;

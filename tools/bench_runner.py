@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Run the full bench suite and merge the results into one baseline.
+
+Each bench binary is invoked with `--json <tmp> --profile` (plus
+`--scale 0` under --smoke) and its ptm-bench-v1 document -- including
+the prof_* cycle-decomposition fields -- is folded into a single
+
+    { "schema": "ptm-benchsuite-v1",
+      "label":  "<label>",
+      "git":    "<git describe of the first bench>",
+      "smoke":  true|false,
+      "benches": { "<bench>": [ {row}, ... ], ... } }
+
+suitable for committing as BENCH_<label>.json and diffing with
+bench_compare.py. Simulated metrics (cycles, prof_* ticks, stat
+counters) are deterministic for a given seed, so a committed smoke
+baseline is a valid cross-machine regression gate; wall-clock fields
+are never recorded at suite level.
+
+Usage:
+    bench_runner.py --bench-dir BUILD/bench [--smoke] [--label NAME]
+                    [--out FILE] [--only BENCH[,BENCH...]]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCHES = [
+    "bench_table1",
+    "bench_fig4",
+    "bench_fig5",
+    "bench_ablation_caches",
+    "bench_ablation_commit_abort",
+    "bench_ablation_ctxsw",
+    "bench_ablation_shadow_free",
+]
+
+
+def run_bench(path, smoke):
+    """Run one bench binary; return its parsed ptm-bench-v1 document."""
+    fd, tmp = tempfile.mkstemp(suffix=".json", prefix="bench_")
+    os.close(fd)
+    cmd = [path, "--json", tmp, "--profile"]
+    if smoke:
+        cmd += ["--scale", "0"]
+    try:
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{os.path.basename(path)} exited {proc.returncode}: "
+                f"{proc.stderr.strip()[-400:]}")
+        with open(tmp) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(tmp)
+    if doc.get("schema") != "ptm-bench-v1":
+        raise RuntimeError(
+            f"{os.path.basename(path)}: bad schema tag "
+            f"{doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Run the bench suite and merge a ptm-benchsuite-v1 "
+                    "baseline.")
+    ap.add_argument("--bench-dir", required=True,
+                    help="directory holding the bench_* binaries")
+    ap.add_argument("--smoke", action="store_true",
+                    help="run every bench at --scale 0 (tiny sizes)")
+    ap.add_argument("--label", default="local",
+                    help="baseline label recorded in the document")
+    ap.add_argument("--out", default=None,
+                    help="output file (default BENCH_<label>.json; "
+                         "- = stdout)")
+    ap.add_argument("--only", default=None,
+                    help="comma-separated subset of benches to run")
+    args = ap.parse_args()
+
+    names = BENCHES
+    if args.only:
+        names = [n for n in args.only.split(",") if n]
+        unknown = [n for n in names if n not in BENCHES]
+        if unknown:
+            print(f"error: unknown bench(es): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    suite = {
+        "schema": "ptm-benchsuite-v1",
+        "label": args.label,
+        "git": "",
+        "smoke": bool(args.smoke),
+        "benches": {},
+    }
+    for name in names:
+        path = os.path.join(args.bench_dir, name)
+        if not os.path.exists(path):
+            print(f"error: missing bench binary {path}", file=sys.stderr)
+            return 2
+        print(f"running {name}{' (smoke)' if args.smoke else ''} ...",
+              file=sys.stderr)
+        try:
+            doc = run_bench(path, args.smoke)
+        except RuntimeError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+        if not suite["git"]:
+            suite["git"] = doc.get("git", "")
+        suite["benches"][name] = doc.get("rows", [])
+
+    out = args.out or f"BENCH_{args.label}.json"
+    text = json.dumps(suite, indent=1, sort_keys=True) + "\n"
+    if out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(out, "w") as f:
+            f.write(text)
+        total = sum(len(r) for r in suite["benches"].values())
+        print(f"wrote {out} ({len(suite['benches'])} benches, "
+              f"{total} rows)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Guard the machine-readable stdout streams of a bench binary.
+
+Checks three invocations of the given bench at --scale 0:
+
+ 1. `--json - --trace FILE`  : stdout must be exactly one parseable
+    ptm-bench-v1 JSON document (tables/status must go to stderr);
+ 2. `--trace - --json FILE`  : stdout must be machine-clean JSONL
+    (every non-empty line parses as a JSON object);
+ 3. `--json - --trace -`     : both streams cannot own stdout -- the
+    binary must refuse with exit code 2 and print nothing on stdout.
+
+Usage: check_bench_streams.py PATH_TO_BENCH
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd):
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def check(bench):
+    errors = []
+    tmpdir = tempfile.mkdtemp(prefix="bench_streams_")
+    trace_path = os.path.join(tmpdir, "t.jsonl")
+    json_path = os.path.join(tmpdir, "b.json")
+
+    # 1. JSON owns stdout; trace goes to a file.
+    proc = run([bench, "--scale", "0", "--json", "-",
+                "--trace", trace_path])
+    if proc.returncode != 0:
+        errors.append(f"--json -: exited {proc.returncode}")
+    else:
+        try:
+            doc = json.loads(proc.stdout)
+            if doc.get("schema") != "ptm-bench-v1":
+                errors.append(f"--json -: bad schema tag "
+                              f"{doc.get('schema')!r}")
+            if not doc.get("rows"):
+                errors.append("--json -: no rows")
+        except json.JSONDecodeError as e:
+            errors.append(f"--json -: stdout not clean JSON: {e}")
+        if not os.path.exists(trace_path):
+            errors.append("--json -: trace file not written")
+
+    # 2. Trace owns stdout; JSON goes to a file.
+    proc = run([bench, "--scale", "0", "--trace", "-",
+                "--json", json_path])
+    if proc.returncode != 0:
+        errors.append(f"--trace -: exited {proc.returncode}")
+    else:
+        lines = [l for l in proc.stdout.splitlines() if l.strip()]
+        if not lines:
+            errors.append("--trace -: no trace records on stdout")
+        for i, line in enumerate(lines):
+            try:
+                rec = json.loads(line)
+                if not isinstance(rec, dict):
+                    raise ValueError("not an object")
+            except (json.JSONDecodeError, ValueError) as e:
+                errors.append(
+                    f"--trace -: stdout line {i + 1} not a JSON "
+                    f"object: {e} ({line[:60]!r})")
+                break
+        try:
+            with open(json_path) as f:
+                json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"--trace -: side JSON file bad: {e}")
+
+    # 3. Both on stdout must be refused with exit 2, stdout silent.
+    proc = run([bench, "--scale", "0", "--json", "-", "--trace", "-"])
+    if proc.returncode != 2:
+        errors.append(f"--json - --trace -: expected exit 2, got "
+                      f"{proc.returncode}")
+    if proc.stdout.strip():
+        errors.append("--json - --trace -: stdout not empty on refusal")
+    if "stdout" not in proc.stderr:
+        errors.append("--json - --trace -: no diagnostic on stderr")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = check(sys.argv[1])
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    print(f"{os.path.basename(sys.argv[1])}: "
+          + ("ok" if not errors else f"{len(errors)} error(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

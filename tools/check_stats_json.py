@@ -42,7 +42,19 @@ STAT_KINDS = {
     ],
 }
 
-BASE_GROUPS = ["sys", "tx", "mem", "os", "core0"]
+BASE_GROUPS = ["sys", "tx", "mem", "os", "core0", "events"]
+
+PROF_BUCKETS = {
+    "idle", "non_tx", "tx_useful", "tx_wasted", "stall_l1", "stall_l2",
+    "stall_mem", "stall_xlat", "fault_swap", "tx_begin", "tx_commit",
+    "tx_abort", "ctx_switch", "barrier",
+}
+
+PROF_CHARGES = {
+    "meta_lookup", "tav_lookup", "commit_cleanup", "abort_cleanup",
+    "overflow_spill", "false_stall", "page_fault", "swap_io",
+    "committed_tx_ticks", "aborted_tx_ticks",
+}
 
 
 def check_run(ptm_sim, system):
@@ -126,6 +138,100 @@ def check_run(ptm_sim, system):
     return errors
 
 
+def check_profile(ptm_sim):
+    """Validate the optional "profile" section under --profile.
+
+    The cycle accounting is exact by construction: every core's bucket
+    ticks must sum to its total, and every total must equal the run's
+    elapsed ticks.
+    """
+    errors = []
+    cmd = [
+        ptm_sim, "--workload", "fft", "--system", "sel-ptm",
+        "--scale", "0", "--threads", "2", "--stats-json", "-",
+        "--profile", "--host-profile",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"profile: ptm_sim exited {proc.returncode}: "
+                f"{proc.stderr.strip()}"]
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        return [f"profile: stdout not clean JSON with --profile: {e}"]
+
+    prof = doc.get("profile")
+    if not isinstance(prof, dict):
+        return ["profile: section missing from --profile run"]
+
+    elapsed = prof.get("elapsed_ticks")
+    if not isinstance(elapsed, int) or elapsed <= 0:
+        errors.append(f"profile: bad elapsed_ticks {elapsed!r}")
+    cores = prof.get("cores")
+    if not isinstance(cores, list) or not cores:
+        errors.append("profile: cores missing or empty")
+        cores = []
+    for i, core in enumerate(cores):
+        ticks = core.get("ticks", {})
+        unknown = set(ticks) - PROF_BUCKETS
+        if unknown:
+            errors.append(
+                f"profile: core {i} unknown buckets {sorted(unknown)}")
+        total = core.get("total")
+        if sum(ticks.values()) != total:
+            errors.append(
+                f"profile: core {i} bucket sum {sum(ticks.values())} "
+                f"!= total {total}")
+        if total != elapsed:
+            errors.append(
+                f"profile: core {i} total {total} != elapsed_ticks "
+                f"{elapsed}")
+    sup = prof.get("supervisor")
+    if not isinstance(sup, dict):
+        errors.append("profile: supervisor section missing")
+    else:
+        unknown = set(sup) - PROF_CHARGES
+        if unknown:
+            errors.append(
+                f"profile: unknown supervisor charges {sorted(unknown)}")
+    host = prof.get("host")
+    if not isinstance(host, dict):
+        errors.append("profile: host section missing under "
+                      "--host-profile")
+    else:
+        if not isinstance(host.get("sample_interval"), int) or \
+                host["sample_interval"] < 1:
+            errors.append("profile: bad host.sample_interval")
+        sites = host.get("sites")
+        if not isinstance(sites, list) or not sites:
+            errors.append("profile: host.sites missing or empty")
+        else:
+            for s in sites:
+                for field in ("name", "events", "sampled",
+                              "sampled_ns", "estimated_ns"):
+                    if field not in s:
+                        errors.append(
+                            f"profile: host site missing {field!r}")
+                        break
+
+    # Off by default: a plain run must not carry the section.
+    proc = subprocess.run(
+        [ptm_sim, "--workload", "fft", "--system", "sel-ptm",
+         "--scale", "0", "--threads", "2", "--stats-json", "-"],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        try:
+            plain = json.loads(proc.stdout)
+            if "profile" in plain:
+                errors.append(
+                    "profile: section present without --profile")
+        except json.JSONDecodeError as e:
+            errors.append(f"profile: plain run JSON invalid: {e}")
+    else:
+        errors.append(f"profile: plain run exited {proc.returncode}")
+    return errors
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -137,6 +243,9 @@ def main():
         status = "ok" if not errs else f"{len(errs)} error(s)"
         print(f"{system:10s} {status}")
         failures.extend(errs)
+    errs = check_profile(ptm_sim)
+    print(f"{'profile':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
+    failures.extend(errs)
     for e in failures:
         print(f"error: {e}", file=sys.stderr)
     return 1 if failures else 0

@@ -23,6 +23,7 @@
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
+#include "harness/profile_io.hh"
 #include "harness/stats_io.hh"
 #include "harness/trace_io.hh"
 #include "sim/logging.hh"
@@ -78,6 +79,11 @@ main(int argc, char **argv)
                       "write ptm-stats-v1 JSON to FILE (- = stdout)",
                       json_path);
     addTraceOptions(opts, prm.trace);
+    addProfileOptions(opts, prm.profile);
+    bool list_stats = false;
+    opts.flag("list-stats",
+              "list every statistic of the configured system and exit",
+              [&] { list_stats = true; });
     opts.exitFlag("list", "list workloads and exit", [&] {
         for (const auto &w : workloadNames())
             std::printf("%s\n", w.c_str());
@@ -89,6 +95,19 @@ main(int argc, char **argv)
       case CliStatus::Exit:
         return 0;
       case CliStatus::Error:
+        return 2;
+    }
+
+    if (list_stats) {
+        System sys(prm);
+        printStatList(sys.registry());
+        return 0;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && prm.trace.path == "-") {
+        std::fprintf(stderr, "ptm_sim: --stats-json - and --trace - "
+                             "cannot both write to stdout\n");
         return 2;
     }
 
@@ -178,6 +197,12 @@ main(int argc, char **argv)
         }
     }
 
+    // The profile tables go to stderr when stdout carries a machine
+    // stream, so --profile composes with --stats-json - / --trace -.
+    std::FILE *prof_out = human ? stdout : stderr;
+    printProfileTable(prof_out, r.profile);
+    printHostProfile(prof_out, r.host);
+
     if (!json_path.empty()) {
         RunManifest m;
         m.tool = "ptm_sim";
@@ -189,7 +214,7 @@ main(int argc, char **argv)
         m.wallSeconds = wall;
         m.params = &prm;
         std::string err;
-        if (!writeRunJson(json_path, m, s, &err)) {
+        if (!writeRunJson(json_path, m, s, &err, &r.profile, &r.host)) {
             std::fprintf(stderr, "ptm_sim: %s\n", err.c_str());
             return 2;
         }
