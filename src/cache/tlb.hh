@@ -6,6 +6,12 @@
  * *home* physical page: shadow pages are invisible to the TLB by design
  * — "the physical address seen by the cache hierarchy and the TLB
  * structures is the home page physical address" (section 3.2.3).
+ *
+ * Lookup, insert and eviction are O(1): an open-addressing index maps
+ * (proc, vpage) to a slab slot, and the slots are threaded on an
+ * intrusive recency list whose tail is the LRU victim — the same
+ * victim the previous linear scan over 512 entries selected (use
+ * stamps were unique), so simulated hit/miss behavior is unchanged.
  */
 
 #ifndef PTM_CACHE_TLB_HH
@@ -14,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -24,7 +31,13 @@ namespace ptm
 class Tlb
 {
   public:
-    explicit Tlb(unsigned entries) : entries_(entries) {}
+    explicit Tlb(unsigned entries) : slab_(entries)
+    {
+        free_.reserve(entries);
+        for (unsigned i = entries; i-- > 0;)
+            free_.push_back(i);
+        index_.reserve(entries);
+    }
 
     /**
      * Translate (proc, vpage). @return the home physical page, or
@@ -33,12 +46,11 @@ class Tlb
     PageNum
     lookup(ProcId proc, PageNum vpage)
     {
-        for (auto &e : entries_) {
-            if (e.valid && e.proc == proc && e.vpage == vpage) {
-                e.lastUse = ++clock_;
-                ++hits;
-                return e.ppage;
-            }
+        if (std::uint32_t *slot = index_.find(key(proc, vpage))) {
+            std::uint32_t i = *slot;
+            touch(i);
+            ++hits;
+            return slab_[i].ppage;
         }
         ++misses;
         return invalidPage;
@@ -48,68 +60,133 @@ class Tlb
     void
     insert(ProcId proc, PageNum vpage, PageNum ppage)
     {
-        Entry *victim = nullptr;
-        for (auto &e : entries_) {
-            if (e.valid && e.proc == proc && e.vpage == vpage) {
-                victim = &e;
-                break;
-            }
-            if (!e.valid) {
-                if (!victim || victim->valid)
-                    victim = &e;
-            } else if (!victim ||
-                       (victim->valid && e.lastUse < victim->lastUse)) {
-                victim = &e;
-            }
+        std::uint64_t k = key(proc, vpage);
+        if (std::uint32_t *slot = index_.find(k)) {
+            std::uint32_t i = *slot;
+            slab_[i].ppage = ppage;
+            touch(i);
+            return;
         }
-        victim->valid = true;
-        victim->proc = proc;
-        victim->vpage = vpage;
-        victim->ppage = ppage;
-        victim->lastUse = ++clock_;
+        std::uint32_t i;
+        if (!free_.empty()) {
+            i = free_.back();
+            free_.pop_back();
+        } else {
+            i = tail_;
+            unlink(i);
+            index_.erase(key(slab_[i].proc, slab_[i].vpage));
+        }
+        slab_[i].proc = proc;
+        slab_[i].vpage = vpage;
+        slab_[i].ppage = ppage;
+        pushFront(i);
+        index_[k] = i;
     }
 
     /** Shootdown one translation (page swapped / remapped). */
     void
     invalidate(ProcId proc, PageNum vpage)
     {
-        for (auto &e : entries_)
-            if (e.valid && e.proc == proc && e.vpage == vpage)
-                e.valid = false;
+        if (std::uint32_t *slot = index_.find(key(proc, vpage))) {
+            std::uint32_t i = *slot;
+            unlink(i);
+            index_.erase(key(proc, vpage));
+            free_.push_back(i);
+        }
     }
 
     /** Drop all entries of one process. */
     void
     flushProc(ProcId proc)
     {
-        for (auto &e : entries_)
-            if (e.valid && e.proc == proc)
-                e.valid = false;
+        std::uint32_t i = head_;
+        while (i != nil) {
+            std::uint32_t next = slab_[i].next;
+            if (slab_[i].proc == proc) {
+                unlink(i);
+                index_.erase(key(proc, slab_[i].vpage));
+                free_.push_back(i);
+            }
+            i = next;
+        }
     }
 
     /** Drop everything. */
     void
     flushAll()
     {
-        for (auto &e : entries_)
-            e.valid = false;
+        index_.clear();
+        free_.clear();
+        for (std::uint32_t i = std::uint32_t(slab_.size()); i-- > 0;)
+            free_.push_back(i);
+        head_ = tail_ = nil;
     }
 
     Counter hits;
     Counter misses;
 
   private:
+    static constexpr std::uint32_t nil = ~std::uint32_t(0);
+
     struct Entry
     {
-        bool valid = false;
         ProcId proc = 0;
         PageNum vpage = 0;
         PageNum ppage = 0;
-        std::uint64_t lastUse = 0;
+        std::uint32_t prev = nil;
+        std::uint32_t next = nil;
     };
 
-    std::vector<Entry> entries_;
-    std::uint64_t clock_ = 0;
+    /** Injective (proc, vpage) tag: virtual pages fit well under 2^48
+     *  (the OS model's address spaces span megabytes). */
+    static std::uint64_t
+    key(ProcId proc, PageNum vpage)
+    {
+        return (std::uint64_t(proc) << 48) | std::uint64_t(vpage);
+    }
+
+    void
+    unlink(std::uint32_t i)
+    {
+        Entry &e = slab_[i];
+        if (e.prev != nil)
+            slab_[e.prev].next = e.next;
+        else
+            head_ = e.next;
+        if (e.next != nil)
+            slab_[e.next].prev = e.prev;
+        else
+            tail_ = e.prev;
+        e.prev = e.next = nil;
+    }
+
+    void
+    pushFront(std::uint32_t i)
+    {
+        Entry &e = slab_[i];
+        e.prev = nil;
+        e.next = head_;
+        if (head_ != nil)
+            slab_[head_].prev = i;
+        head_ = i;
+        if (tail_ == nil)
+            tail_ = i;
+    }
+
+    void
+    touch(std::uint32_t i)
+    {
+        if (head_ != i) {
+            unlink(i);
+            pushFront(i);
+        }
+    }
+
+    std::vector<Entry> slab_;
+    std::vector<std::uint32_t> free_;
+    std::uint32_t head_ = nil;
+    std::uint32_t tail_ = nil;
+    FlatMap<std::uint64_t, std::uint32_t> index_;
 };
 
 } // namespace ptm

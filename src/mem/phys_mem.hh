@@ -19,8 +19,8 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace ptm
@@ -137,17 +137,21 @@ class PhysMem
     std::size_t backedFrames() const { return frames_.size(); }
 
   private:
+    // The frame index is on the path of every functional word access;
+    // FlatMap keeps the lookup to a couple of contiguous probes. The
+    // frames themselves are heap cells, so Frame pointers stay valid
+    // across index rehashes.
     const Frame *
     find(PageNum p) const
     {
-        auto it = frames_.find(p);
-        return it == frames_.end() ? nullptr : it->second.get();
+        const std::unique_ptr<Frame> *slot = frames_.find(p);
+        return slot ? slot->get() : nullptr;
     }
 
     Frame &
     get(PageNum p)
     {
-        auto &slot = frames_[p];
+        std::unique_ptr<Frame> &slot = frames_[p];
         if (!slot) {
             slot = std::make_unique<Frame>();
             slot->fill(0);
@@ -155,7 +159,7 @@ class PhysMem
         return *slot;
     }
 
-    std::unordered_map<PageNum, std::unique_ptr<Frame>> frames_;
+    FlatMap<PageNum, std::unique_ptr<Frame>> frames_;
 };
 
 } // namespace ptm

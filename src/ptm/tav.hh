@@ -16,8 +16,10 @@
 #ifndef PTM_PTM_TAV_HH
 #define PTM_PTM_TAV_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
 #include "sim/bitvec.hh"
 #include "sim/types.hh"
@@ -39,6 +41,69 @@ struct TavNode
     TavNode *nextOnPage = nullptr;
     /** Vertical link: next page node of the same transaction. */
     TavNode *nextOfTx = nullptr;
+};
+
+/**
+ * Slab allocator for TAV nodes.
+ *
+ * The simulator creates and frees a TAV node per (transaction, page)
+ * overflow; at paper scale that is millions of nodes whose `new` /
+ * `delete` churn dominates the overflow paths. The arena hands out
+ * nodes from fixed-size chunks and recycles freed nodes through an
+ * intrusive freelist (threaded through `nextOnPage`). Recycled nodes
+ * keep their BitVec buffers, so steady-state allocation touches no
+ * heap at all. Chunks are only released when the arena dies.
+ */
+class TavArena
+{
+  public:
+    /** Pop a recycled node (fields reset, vectors cleared) or carve a
+     *  fresh one from the current chunk. */
+    TavNode *
+    alloc()
+    {
+        if (!free_) {
+            chunks_.push_back(
+                std::make_unique<std::array<TavNode, chunkNodes>>());
+            for (TavNode &n : *chunks_.back()) {
+                n.nextOnPage = free_;
+                free_ = &n;
+            }
+        }
+        TavNode *n = free_;
+        free_ = n->nextOnPage;
+        n->nextOnPage = nullptr;
+        ++live_;
+        return n;
+    }
+
+    /** Return @p n to the freelist. The node's links must already be
+     *  unhooked from its page and transaction lists. */
+    void
+    free(TavNode *n)
+    {
+        n->tx = invalidTxId;
+        n->home = invalidPage;
+        n->read.reset();  // keeps capacity for reuse
+        n->write.reset();
+        n->nextOfTx = nullptr;
+        n->nextOnPage = free_;
+        free_ = n;
+        --live_;
+    }
+
+    /** Nodes currently handed out (tests/inspection). */
+    std::size_t liveNodes() const { return live_; }
+    /** Total nodes ever carved from chunks (tests/inspection). */
+    std::size_t slabNodes() const { return chunks_.size() * chunkNodes; }
+
+  private:
+    static constexpr std::size_t chunkNodes = 64;
+
+    std::vector<std::unique_ptr<std::array<TavNode, chunkNodes>>>
+        chunks_;
+    TavNode *free_ = nullptr;
+    std::size_t live_ = 0;
 };
 
 /**

@@ -12,38 +12,85 @@
 namespace ptm
 {
 
+void
+VtsMetaCache::unlink(std::uint32_t i)
+{
+    Node &n = nodes_[i];
+    if (n.prev != nil)
+        nodes_[n.prev].next = n.next;
+    else
+        head_ = n.next;
+    if (n.next != nil)
+        nodes_[n.next].prev = n.prev;
+    else
+        tail_ = n.prev;
+    n.prev = n.next = nil;
+}
+
+void
+VtsMetaCache::pushFront(std::uint32_t i)
+{
+    Node &n = nodes_[i];
+    n.prev = nil;
+    n.next = head_;
+    if (head_ != nil)
+        nodes_[head_].prev = i;
+    head_ = i;
+    if (tail_ == nil)
+        tail_ = i;
+}
+
 bool
 VtsMetaCache::access(std::uint64_t key, bool mark_dirty,
                      bool &evicted_dirty)
 {
     evicted_dirty = false;
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-        it->second.lastUse = ++clock_;
-        it->second.dirty |= mark_dirty;
+    if (std::uint32_t *slot = index_.find(key)) {
+        std::uint32_t i = *slot;
+        nodes_[i].dirty |= mark_dirty;
+        if (head_ != i) {
+            unlink(i);
+            pushFront(i);
+        }
         ++hits;
         return true;
     }
     ++misses;
-    if (map_.size() >= capacity_) {
-        auto victim = map_.begin();
-        for (auto i = map_.begin(); i != map_.end(); ++i)
-            if (i->second.lastUse < victim->second.lastUse)
-                victim = i;
-        if (victim->second.dirty) {
+    if (index_.size() >= capacity_) {
+        std::uint32_t victim = tail_;
+        if (nodes_[victim].dirty) {
             evicted_dirty = true;
             ++dirtyEvictions;
         }
-        map_.erase(victim);
+        unlink(victim);
+        index_.erase(nodes_[victim].key);
+        free_.push_back(victim);
     }
-    map_[key] = Entry{++clock_, mark_dirty};
+    std::uint32_t i;
+    if (!free_.empty()) {
+        i = free_.back();
+        free_.pop_back();
+    } else {
+        i = std::uint32_t(nodes_.size());
+        nodes_.emplace_back();
+    }
+    nodes_[i].key = key;
+    nodes_[i].dirty = mark_dirty;
+    pushFront(i);
+    index_[key] = i;
     return false;
 }
 
 void
 VtsMetaCache::remove(std::uint64_t key)
 {
-    map_.erase(key);
+    std::uint32_t *slot = index_.find(key);
+    if (!slot)
+        return;
+    std::uint32_t i = *slot;
+    unlink(i);
+    index_.erase(key);
+    free_.push_back(i);
 }
 
 Vts::Vts(const SystemParams &params, EventQueue &eq, PhysMem &phys,
@@ -109,29 +156,14 @@ Vts::regStats(StatRegistry &reg)
                       "distinct overflowed pages per transaction");
 }
 
-Vts::~Vts()
-{
-    auto free_list = [](SptEntry &e) {
-        TavNode *t = e.tavHead;
-        while (t) {
-            TavNode *next = t->nextOnPage;
-            delete t;
-            t = next;
-        }
-        e.tavHead = nullptr;
-    };
-    for (auto &[p, e] : spt_)
-        free_list(e);
-    for (auto &[s, e] : sit_)
-        free_list(e);
-}
+// TAV nodes are owned by the arena; its chunks free everything.
+Vts::~Vts() = default;
 
 SptEntry &
 Vts::entryFor(PageNum home)
 {
-    auto it = spt_.find(home);
-    if (it != spt_.end())
-        return it->second;
+    if (SptEntry *p = spt_.find(home))
+        return *p;
     SptEntry &e = spt_[home];
     e.home = home;
     e.selection = gran_.makeVec();
@@ -143,15 +175,13 @@ Vts::entryFor(PageNum home)
 SptEntry *
 Vts::findEntry(PageNum home)
 {
-    auto it = spt_.find(home);
-    return it == spt_.end() ? nullptr : &it->second;
+    return spt_.find(home);
 }
 
 const SptEntry *
 Vts::findEntry(PageNum home) const
 {
-    auto it = spt_.find(home);
-    return it == spt_.end() ? nullptr : &it->second;
+    return spt_.find(home);
 }
 
 const SptEntry *
@@ -525,15 +555,20 @@ Vts::evictTxBlock(Addr block_addr, TxId tx, bool dirty_spec,
 
     TavNode *node = e.findTav(tx);
     if (!node) {
-        node = new TavNode;
+        node = tav_arena_.alloc();
         node->tx = tx;
         node->home = page;
-        node->read = gran_.makeVec();
-        node->write = gran_.makeVec();
+        // Recycled nodes keep cleared vectors of the right width; only
+        // freshly carved nodes need the one-time allocation.
+        if (node->read.size() != gran_.bitsPerPage()) {
+            node->read = gran_.makeVec();
+            node->write = gran_.makeVec();
+        }
         node->nextOnPage = e.tavHead;
         e.tavHead = node;
-        node->nextOfTx = tx_head_[tx];
-        tx_head_[tx] = node;
+        TavNode *&headp = tx_head_[tx];
+        node->nextOfTx = headp;
+        headp = node;
         ++tavNodesCreated;
         // Creating the in-memory node is a posted memory write: it
         // consumes bandwidth but does not hold the evicting access.
@@ -701,10 +736,10 @@ void
 Vts::startCleanup(TxId tx, bool is_commit)
 {
 
-    auto it = tx_head_.find(tx);
-    TavNode *head = it == tx_head_.end() ? nullptr : it->second;
-    if (it != tx_head_.end())
-        tx_head_.erase(it);
+    TavNode **headp = tx_head_.find(tx);
+    TavNode *head = headp ? *headp : nullptr;
+    if (headp)
+        tx_head_.erase(tx);
 
     if (!head) {
         // Never overflowed: commit/abort is handled entirely in-cache.
@@ -836,7 +871,7 @@ Vts::processNode(CleanupJob &job, TavNode *node)
     maybeFreeShadow(e);
     bool evd = false;
     sptCache.access(node->home, true, evd);
-    delete node;
+    tav_arena_.free(node);
 }
 
 bool
@@ -849,11 +884,11 @@ Vts::swappable(PageNum home) const
 void
 Vts::pageSwapOut(PageNum home, std::uint64_t slot)
 {
-    auto it = spt_.find(home);
-    if (it == spt_.end())
+    SptEntry *p = spt_.find(home);
+    if (!p)
         return;
-    SptEntry e = std::move(it->second);
-    spt_.erase(it);
+    SptEntry e = std::move(*p);
+    spt_.erase(home);
     sptCache.remove(home);
     panic_if(e.tavHead,
              "OS swapped out a page with live TAV state");
@@ -891,22 +926,22 @@ Vts::pageSwapOut(PageNum home, std::uint64_t slot)
 void
 Vts::pageSwapIn(std::uint64_t slot, PageNum new_home)
 {
-    auto it = sit_.find(slot);
-    if (it == sit_.end())
+    SptEntry *p = sit_.find(slot);
+    if (!p)
         return;
-    SptEntry e = std::move(it->second);
-    sit_.erase(it);
+    SptEntry e = std::move(*p);
+    sit_.erase(slot);
     e.home = new_home;
 
-    auto sh = swapped_shadow_data_.find(slot);
-    if (sh != swapped_shadow_data_.end()) {
+    if (std::vector<std::uint8_t> *sh =
+            swapped_shadow_data_.find(slot)) {
         e.shadow = frames_.alloc();
         ++shadow_pages_;
         ++shadowAllocs;
         for (unsigned b = 0; b < blocksPerPage; ++b)
             phys_.writeBlock(pageBase(e.shadow) + b * blockBytes,
-                             sh->second.data() + b * blockBytes);
-        swapped_shadow_data_.erase(sh);
+                             sh->data() + b * blockBytes);
+        swapped_shadow_data_.erase(slot);
     }
     spt_[new_home] = std::move(e);
 }

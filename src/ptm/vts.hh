@@ -32,7 +32,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/frame_alloc.hh"
@@ -42,6 +41,7 @@
 #include "ptm/tav.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "tx/tm_backend.hh"
 #include "tx/tx_manager.hh"
@@ -55,11 +55,22 @@ namespace ptm
  * simulator keeps the *functional* PTM structures always current; these
  * caches only decide whether a lookup pays cache latency or a memory
  * walk.
+ *
+ * Hit, miss and eviction are all O(1): entries live in a slab indexed
+ * by an open-addressing map, threaded on an intrusive doubly-linked
+ * list in recency order, so the LRU victim is the list tail (the exact
+ * entry the previous implementation found by scanning every entry for
+ * the minimum use stamp — use stamps are unique, so victim choice and
+ * therefore every simulated statistic is unchanged).
  */
 class VtsMetaCache
 {
   public:
-    explicit VtsMetaCache(unsigned entries) : capacity_(entries) {}
+    explicit VtsMetaCache(unsigned entries) : capacity_(entries)
+    {
+        nodes_.reserve(entries);
+        index_.reserve(entries);
+    }
 
     /**
      * Look up @p key; inserts it on a miss (possibly evicting LRU).
@@ -77,15 +88,27 @@ class VtsMetaCache
     Counter dirtyEvictions;
 
   private:
-    struct Entry
+    static constexpr std::uint32_t nil = ~std::uint32_t(0);
+
+    struct Node
     {
-        std::uint64_t lastUse = 0;
+        std::uint64_t key = 0;
+        std::uint32_t prev = nil;
+        std::uint32_t next = nil;
         bool dirty = false;
     };
 
+    /** Detach node @p i from the recency list. */
+    void unlink(std::uint32_t i);
+    /** Attach node @p i at the most-recently-used end. */
+    void pushFront(std::uint32_t i);
+
     unsigned capacity_;
-    std::uint64_t clock_ = 0;
-    std::unordered_map<std::uint64_t, Entry> map_;
+    std::vector<Node> nodes_;           //!< slab; index_ maps into it
+    std::vector<std::uint32_t> free_;   //!< recycled slab slots
+    std::uint32_t head_ = nil;          //!< most recently used
+    std::uint32_t tail_ = nil;          //!< LRU victim
+    FlatMap<std::uint64_t, std::uint32_t> index_;
 };
 
 /** The PTM backend. */
@@ -138,6 +161,20 @@ class Vts : public TmBackend
 
     /** True if Select-PTM (vs Copy-PTM). */
     bool isSelect() const { return select_; }
+
+    /**
+     * Composite key for the TAV cache. Mixes the full (page, tx) pair
+     * through the splitmix64 finalizer; the old `(home << 22) ^ tx`
+     * fold aliased distinct pairs once tx ids exceeded 22 bits (or
+     * pages shared low bits after the shift), silently merging cache
+     * entries. Public so tests can pin the no-collision property.
+     */
+    static std::uint64_t
+    tavKey(PageNum home, TxId tx)
+    {
+        return mix64(std::uint64_t(home) * 0x9e3779b97f4a7c15ull +
+                     std::uint64_t(tx));
+    }
 
 
     /** Whether the OS may pick @p home as a swap victim (we keep the
@@ -230,13 +267,6 @@ class Vts : public TmBackend
     void cleanupStep(TxId tx);
     void processNode(CleanupJob &job, TavNode *node);
 
-    /** Composite key for the TAV cache. */
-    static std::uint64_t
-    tavKey(PageNum home, TxId tx)
-    {
-        return (home << 22) ^ tx;
-    }
-
     const SystemParams params_;
     EventQueue &eq_;
     PhysMem &phys_;
@@ -248,16 +278,19 @@ class Vts : public TmBackend
     PageGran gran_;
     bool select_;
 
-    std::unordered_map<PageNum, SptEntry> spt_;
+    FlatMap<PageNum, SptEntry> spt_;
     /** Swap Index Table: entries of swapped-out pages, by swap slot. */
-    std::unordered_map<std::uint64_t, SptEntry> sit_;
+    FlatMap<std::uint64_t, SptEntry> sit_;
     /** Shadow page bytes of swapped-out pages, by swap slot. */
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+    FlatMap<std::uint64_t, std::vector<std::uint8_t>>
         swapped_shadow_data_;
 
     /** Vertical TAV list heads (T-State links). */
-    std::unordered_map<TxId, TavNode *> tx_head_;
-    std::unordered_map<TxId, CleanupJob> jobs_;
+    FlatMap<TxId, TavNode *> tx_head_;
+    FlatMap<TxId, CleanupJob> jobs_;
+
+    /** Slab allocator for every TAV node this backend creates. */
+    TavArena tav_arena_;
 
     unsigned overflowed_live_ = 0;
     std::uint64_t shadow_pages_ = 0;

@@ -5,6 +5,14 @@
  * The whole simulator is driven by one EventQueue. Components schedule
  * callbacks at future ticks; the queue executes them in (tick, priority,
  * insertion order) order, which makes the simulation fully deterministic.
+ *
+ * Host-speed design: event records live in a slab recycled through a
+ * freelist, so the steady-state loop performs no heap allocation —
+ * callbacks whose captures fit EventFn's inline buffer (statically
+ * sized to cover every scheduling site in the simulator, including the
+ * memory-system grant path) are stored in place, and cancellation is a
+ * generation-counter check instead of a shared_ptr tombstone per
+ * handle. The binary heap orders small POD references only.
  */
 
 #ifndef PTM_SIM_EVENT_QUEUE_HH
@@ -12,12 +20,16 @@
 
 #include <array>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <new>
 #include <queue>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -68,8 +80,137 @@ eventPriorityName(EventPriority p)
 }
 
 /**
- * The global event queue. Callbacks are std::functions; cancellation is
- * handled by EventHandle tombstones so scheduling stays O(log n).
+ * Move-only callable holding event callbacks without heap allocation:
+ * callables whose size, alignment and nothrow-movability permit are
+ * constructed directly in the inline buffer; anything bigger falls
+ * back to one heap cell (rare — see the static_asserts below).
+ */
+class EventFn
+{
+  public:
+    /**
+     * Inline storage size. Sized so every scheduling site in the
+     * simulator stays inline; the largest is the memory-system grant
+     * path capturing [this, Access, std::function callback, Tick].
+     */
+    static constexpr std::size_t inlineBytes = 112;
+
+    /** True if a callable of type @p F is stored inline (no heap). */
+    template <typename F>
+    static constexpr bool
+    storesInline()
+    {
+        return sizeof(F) <= inlineBytes &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventFn(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (storesInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&o) noexcept { moveFrom(o); }
+
+    EventFn &
+    operator=(EventFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /** Destroy the held callable (back to the empty state). */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*moveTo)(void *src, void *dst);
+        void (*destroy)(void *);
+    };
+
+    template <typename F>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*static_cast<F *>(p))(); },
+        [](void *src, void *dst) {
+            F *s = static_cast<F *>(src);
+            ::new (dst) F(std::move(*s));
+            s->~F();
+        },
+        [](void *p) { static_cast<F *>(p)->~F(); },
+    };
+
+    template <typename F>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**static_cast<F **>(p))(); },
+        [](void *src, void *dst) {
+            *static_cast<F **>(dst) = *static_cast<F **>(src);
+        },
+        [](void *p) { delete *static_cast<F **>(p); },
+    };
+
+    void
+    moveFrom(EventFn &o) noexcept
+    {
+        if (o.ops_) {
+            o.ops_->moveTo(o.buf_, buf_);
+            ops_ = o.ops_;
+            o.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+// The common capture shapes must stay inline: a component pointer plus
+// a handful of ids/ticks (core steps, supervisor walks), and the
+// memory-system shape of [this, 40-byte Access, 32-byte std::function,
+// Tick] with alignment padding.
+static_assert(EventFn::storesInline<void (*)()>());
+static_assert(EventFn::inlineBytes >= 13 * sizeof(void *),
+              "inline buffer must hold the memory-grant capture shape");
+
+/**
+ * The global event queue. Callbacks live in pooled slab records;
+ * cancellation compares a Handle's generation against the slot's, so
+ * scheduling stays O(log n) with no per-event allocation.
  */
 class EventQueue
 {
@@ -88,23 +229,25 @@ class EventQueue
         bool
         pending() const
         {
-            return alive_ && *alive_;
+            return eq_ && eq_->slotLive(slot_, gen_);
         }
 
         /** Cancel the event if still pending. */
         void
         cancel()
         {
-            if (alive_)
-                *alive_ = false;
+            if (eq_)
+                eq_->cancelSlot(slot_, gen_);
         }
 
       private:
         friend class EventQueue;
-        explicit Handle(std::shared_ptr<bool> alive)
-            : alive_(std::move(alive))
+        Handle(EventQueue *eq, std::uint32_t slot, std::uint32_t gen)
+            : eq_(eq), slot_(slot), gen_(gen)
         {}
-        std::shared_ptr<bool> alive_;
+        EventQueue *eq_ = nullptr;
+        std::uint32_t slot_ = 0;
+        std::uint32_t gen_ = 0;
     };
 
     /** Current simulated time. */
@@ -123,26 +266,32 @@ class EventQueue
      * events fall back to their priority's default site.
      * @return a handle that can cancel the event.
      */
+    template <typename F>
     Handle
-    schedule(Tick when, EventPriority prio, std::function<void()> fn,
+    schedule(Tick when, EventPriority prio, F &&fn,
              std::uint16_t site = noSite)
     {
         panic_if(when < cur_tick_,
                  "scheduling event in the past (%llu < %llu)",
                  (unsigned long long)when,
                  (unsigned long long)cur_tick_);
-        auto alive = std::make_shared<bool>(true);
-        heap_.push(Entry{when, int(prio), site, seq_++, alive,
-                         std::move(fn)});
-        return Handle(alive);
+        std::uint32_t slot = allocSlot();
+        Record &r = records_[slot];
+        r.fn = EventFn(std::forward<F>(fn));
+        r.site = site;
+        heap_.push(Ref{when, seq_++, slot, r.gen,
+                       std::uint8_t(int(prio))});
+        return Handle(this, slot, r.gen);
     }
 
     /** Schedule @p fn to run @p delta ticks from now. */
+    template <typename F>
     Handle
-    scheduleIn(Tick delta, EventPriority prio, std::function<void()> fn,
+    scheduleIn(Tick delta, EventPriority prio, F &&fn,
                std::uint16_t site = noSite)
     {
-        return schedule(cur_tick_ + delta, prio, std::move(fn), site);
+        return schedule(cur_tick_ + delta, prio, std::forward<F>(fn),
+                        site);
     }
 
     /** True if no live events remain. */
@@ -161,22 +310,26 @@ class EventQueue
     run(Tick limit = maxTick)
     {
         while (!empty()) {
-            const Entry &top = heap_.top();
+            const Ref &top = heap_.top();
             if (top.when > limit) {
                 cur_tick_ = limit;
                 return false;
             }
-            Entry e = top;
+            Ref ref = top;
             heap_.pop();
-            cur_tick_ = e.when;
-            if (*e.alive) {
-                *e.alive = false;
-                ++executed_[std::size_t(e.prio)];
-                if (host_profile_)
-                    execProfiled(e);
-                else
-                    e.fn();
-            }
+            cur_tick_ = ref.when;
+            Record &r = records_[ref.slot];
+            // empty() skipped dead refs, so this one is live. Move the
+            // callback out and recycle the slot *before* invoking: the
+            // callback may schedule (growing the slab) or cancel.
+            EventFn fn = std::move(r.fn);
+            std::uint16_t site = r.site;
+            freeSlot(ref.slot);
+            ++executed_[std::size_t(ref.prio)];
+            if (host_profile_)
+                execProfiled(fn, site, ref.prio);
+            else
+                fn();
         }
         return true;
     }
@@ -205,6 +358,23 @@ class EventQueue
         for (std::uint64_t v : executed_)
             n += v;
         return n;
+    }
+    /// @}
+
+    /** @name Slab introspection (tests / diagnostics) */
+    /// @{
+    /** Event records ever allocated (high-water mark of in-flight). */
+    std::size_t
+    slabSlots() const
+    {
+        return records_.size();
+    }
+
+    /** Records currently on the freelist. */
+    std::size_t
+    freeSlots() const
+    {
+        return free_.size();
     }
     /// @}
 
@@ -262,14 +432,24 @@ class EventQueue
     /// @}
 
   private:
-    struct Entry
+    /** Pooled event record; the callback never leaves the slab until
+     *  execution. gen counts reuses: a Ref or Handle whose gen does
+     *  not match is stale (executed or cancelled). */
+    struct Record
+    {
+        EventFn fn;
+        std::uint32_t gen = 0;
+        std::uint16_t site = noSite;
+    };
+
+    /** Heap element: ordering key plus the slab reference. POD. */
+    struct Ref
     {
         Tick when;
-        int prio;
-        std::uint16_t site;
         std::uint64_t seq;
-        std::shared_ptr<bool> alive;
-        std::function<void()> fn;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        std::uint8_t prio;
     };
 
     struct SiteCounters
@@ -280,31 +460,10 @@ class EventQueue
         std::uint64_t ns = 0;
     };
 
-    void
-    execProfiled(Entry &e)
-    {
-        std::size_t site = e.site == noSite ? std::size_t(e.prio)
-                                            : std::size_t(e.site);
-        SiteCounters &s = sites_[site];
-        ++s.events;
-        if (++host_count_ >= host_interval_) {
-            host_count_ = 0;
-            auto t0 = std::chrono::steady_clock::now();
-            e.fn();
-            auto dt = std::chrono::steady_clock::now() - t0;
-            s.ns += std::uint64_t(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
-                    .count());
-            ++s.sampled;
-        } else {
-            e.fn();
-        }
-    }
-
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Ref &a, const Ref &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -314,14 +473,80 @@ class EventQueue
         }
     };
 
+    std::uint32_t
+    allocSlot()
+    {
+        if (!free_.empty()) {
+            std::uint32_t slot = free_.back();
+            free_.pop_back();
+            return slot;
+        }
+        panic_if(records_.size() >= 0xffffffffull,
+                 "event slab exhausted");
+        records_.emplace_back();
+        return std::uint32_t(records_.size() - 1);
+    }
+
+    /** Retire a live slot: destroy its callback, bump the generation
+     *  (invalidating outstanding Refs/Handles) and recycle it. */
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        Record &r = records_[slot];
+        r.fn.reset();
+        ++r.gen;
+        r.site = noSite;
+        free_.push_back(slot);
+    }
+
+    bool
+    slotLive(std::uint32_t slot, std::uint32_t gen) const
+    {
+        return slot < records_.size() && records_[slot].gen == gen;
+    }
+
+    void
+    cancelSlot(std::uint32_t slot, std::uint32_t gen)
+    {
+        if (slotLive(slot, gen))
+            freeSlot(slot); // the stale heap Ref is skipped on pop
+    }
+
+    void
+    execProfiled(EventFn &fn, std::uint16_t site, std::uint8_t prio)
+    {
+        std::size_t idx = site == noSite ? std::size_t(prio)
+                                         : std::size_t(site);
+        SiteCounters &s = sites_[idx];
+        ++s.events;
+        if (++host_count_ >= host_interval_) {
+            host_count_ = 0;
+            auto t0 = std::chrono::steady_clock::now();
+            fn();
+            auto dt = std::chrono::steady_clock::now() - t0;
+            s.ns += std::uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count());
+            ++s.sampled;
+        } else {
+            fn();
+        }
+    }
+
     void
     skipDead()
     {
-        while (!heap_.empty() && !*heap_.top().alive)
+        while (!heap_.empty()) {
+            const Ref &top = heap_.top();
+            if (records_[top.slot].gen == top.gen)
+                break;
             heap_.pop();
+        }
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::priority_queue<Ref, std::vector<Ref>, Later> heap_;
+    std::vector<Record> records_;
+    std::vector<std::uint32_t> free_;
     Tick cur_tick_ = 0;
     std::uint64_t seq_ = 0;
 

@@ -150,14 +150,14 @@ OsKernel::handleFault(ProcId proc, PageNum vpage, PageMapping &m)
         m.frame = frames_.alloc();
         tracer_->record(TraceEventType::SwapIn, traceNoId, traceNoId,
                         invalidTxId, invalidTxId, m.swapSlot, m.frame);
-        auto it = swap_data_.find(m.swapSlot);
-        panic_if(it == swap_data_.end(), "missing swap data");
+        std::vector<std::uint8_t> *bytes = swap_data_.find(m.swapSlot);
+        panic_if(!bytes, "missing swap data");
         for (unsigned b = 0; b < blocksPerPage; ++b)
             phys_.writeBlock(pageBase(m.frame) + b * blockBytes,
-                             it->second.data() + b * blockBytes);
+                             bytes->data() + b * blockBytes);
         if (backend_)
             backend_->pageSwapIn(m.swapSlot, m.frame);
-        swap_data_.erase(it);
+        swap_data_.erase(m.swapSlot);
         m.state = PageMapping::State::Resident;
     } else {
         // First touch: allocate a zero frame.
@@ -194,7 +194,9 @@ OsKernel::swapOutOne()
     for (std::size_t scan = 0; scan < resident_fifo_.size(); ++scan) {
         auto [proc, vpage] = resident_fifo_.front();
         resident_fifo_.pop_front();
-        PageMapping &m = resolve(procs_.at(proc).pageTable[vpage]);
+        // at(): a FIFO entry's page was inserted when it faulted in, so
+        // this lookup can never insert (see the pageTable invariant).
+        PageMapping &m = resolve(procs_.at(proc).pageTable.at(vpage));
         if (m.state != PageMapping::State::Resident) {
             continue; // stale entry
         }

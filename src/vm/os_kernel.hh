@@ -18,8 +18,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/tlb.hh"
@@ -28,6 +26,7 @@
 #include "mem/phys_mem.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -182,7 +181,14 @@ class OsKernel
     struct Process
     {
         ProcId id;
-        std::unordered_map<PageNum, PageMapping> pageTable;
+        /**
+         * Invariant for reference stability: while translate() holds a
+         * PageMapping reference, the only other lookup that can run is
+         * swapOutOne()'s, which uses at() on keys that are always
+         * present (the resident FIFO only lists faulted-in pages), so
+         * no insertion can rehash under the held reference.
+         */
+        FlatMap<PageNum, PageMapping> pageTable;
     };
 
     /** Shared segment: one authoritative mapping per segment page. */
@@ -233,8 +239,7 @@ class OsKernel
     std::vector<SharedSeg> shared_;
     /** FIFO of resident (proc, vpage) pairs for swap victim choice. */
     std::deque<std::pair<ProcId, PageNum>> resident_fifo_;
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
-        swap_data_;
+    FlatMap<std::uint64_t, std::vector<std::uint8_t>> swap_data_;
     std::uint64_t next_swap_slot_ = 1;
 
     std::deque<ThreadCtx *> ready_;
@@ -250,8 +255,8 @@ class OsKernel
     };
     std::vector<Barrier> barriers_;
 
-    std::unordered_set<std::uint64_t> touched_pages_;
-    std::unordered_set<std::uint64_t> tx_written_pages_;
+    FlatSet<std::uint64_t> touched_pages_;
+    FlatSet<std::uint64_t> tx_written_pages_;
 
     Pcg32 rng_;
 };

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <unordered_set>
 
 #include "mem/frame_alloc.hh"
 #include "mem/phys_mem.hh"
@@ -63,6 +64,38 @@ TEST(VtsMetaCache, HitMissDirtyEviction)
     EXPECT_FALSE(c.access(4, false, evd));
     EXPECT_TRUE(evd);
     EXPECT_EQ(c.dirtyEvictions.value(), 1u);
+}
+
+// Regression for the old (home << 22) ^ tx TAV-cache key: it aliased
+// distinct (page, tx) pairs once tx ids crossed 22 bits — e.g.
+// (home=1, tx=0) and (home=0, tx=1<<22) collided — silently merging
+// unrelated cache entries. The mixed key must keep every pair of a
+// realistic id grid distinct.
+TEST(Vts, TavKeyNoCollisions)
+{
+    // Pairs the old fold mapped to the same key.
+    EXPECT_EQ((PageNum(1) << 22) ^ TxId(0),
+              (PageNum(0) << 22) ^ (TxId(1) << 22));
+    EXPECT_NE(Vts::tavKey(1, 0), Vts::tavKey(0, TxId(1) << 22));
+    EXPECT_NE(Vts::tavKey(3, 5), Vts::tavKey(5, 3));
+
+    std::unordered_set<std::uint64_t> keys;
+    std::vector<PageNum> homes;
+    std::vector<TxId> txs;
+    // Dense low ranges plus sparse high ids (beyond 22 bits).
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        homes.push_back(i);
+        txs.push_back(i);
+    }
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+        homes.push_back(i * 0x3fffffull);  // spread across 22+ bits
+        txs.push_back(i << 22);            // old-key alias candidates
+        txs.push_back((i << 22) + 1);
+    }
+    for (PageNum h : homes)
+        for (TxId t : txs)
+            keys.insert(Vts::tavKey(h, t));
+    EXPECT_EQ(keys.size(), homes.size() * txs.size());
 }
 
 /** Fixture wiring a VTS to its dependencies. */

@@ -14,12 +14,18 @@ the prof_* cycle-decomposition fields -- is folded into a single
 suitable for committing as BENCH_<label>.json and diffing with
 bench_compare.py. Simulated metrics (cycles, prof_* ticks, stat
 counters) are deterministic for a given seed, so a committed smoke
-baseline is a valid cross-machine regression gate; wall-clock fields
-are never recorded at suite level.
+baseline is a valid cross-machine regression gate; wall-clock values
+are kept out of committed baselines by default. For same-machine A/B
+host-speed measurements, `--wall` adds a suite-level
+
+    "wall_seconds": { "<bench>": seconds, ... }
+
+map (one wall time per bench binary run); bench_compare.py never
+reads it, so it can't turn host noise into a gate failure.
 
 Usage:
     bench_runner.py --bench-dir BUILD/bench [--smoke] [--label NAME]
-                    [--out FILE] [--only BENCH[,BENCH...]]
+                    [--out FILE] [--only BENCH[,BENCH...]] [--wall]
 """
 
 import argparse
@@ -28,6 +34,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 
 BENCHES = [
     "bench_table1",
@@ -80,6 +87,10 @@ def main():
                          "- = stdout)")
     ap.add_argument("--only", default=None,
                     help="comma-separated subset of benches to run")
+    ap.add_argument("--wall", action="store_true",
+                    help="record per-bench host wall seconds at suite "
+                         "level (same-machine A/B pairs only; never "
+                         "compared by bench_compare.py)")
     args = ap.parse_args()
 
     names = BENCHES
@@ -98,6 +109,8 @@ def main():
         "smoke": bool(args.smoke),
         "benches": {},
     }
+    if args.wall:
+        suite["wall_seconds"] = {}
     for name in names:
         path = os.path.join(args.bench_dir, name)
         if not os.path.exists(path):
@@ -105,11 +118,15 @@ def main():
             return 2
         print(f"running {name}{' (smoke)' if args.smoke else ''} ...",
               file=sys.stderr)
+        start = time.monotonic()
         try:
             doc = run_bench(path, args.smoke)
         except RuntimeError as e:
             print(f"error: {e}", file=sys.stderr)
             return 1
+        if args.wall:
+            suite["wall_seconds"][name] = round(
+                time.monotonic() - start, 3)
         if not suite["git"]:
             suite["git"] = doc.get("git", "")
         suite["benches"][name] = doc.get("rows", [])
