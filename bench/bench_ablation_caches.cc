@@ -39,6 +39,8 @@ main(int argc, char **argv)
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
     addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -80,6 +82,7 @@ main(int argc, char **argv)
                   "verified"});
     BenchRecorder rec("ablation_caches");
 
+    std::size_t violations = 0;
     for (const char *app : {"fft", "ocean"}) {
         for (const Cfg &c : cfgs) {
             SystemParams prm;
@@ -88,7 +91,10 @@ main(int argc, char **argv)
             prm.tavCacheEntries = c.tav;
             prm.trace = trace;
             prm.profile = profile;
+            robust.applyTo(prm);
             ExperimentResult r = runWorkload(app, prm, scale, 4);
+            violations += reportAuditViolations("bench_ablation_caches",
+                                                app, prm, r);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
             printRunProfile(hout, std::string(app) + "/" + c.label,
@@ -138,5 +144,5 @@ main(int argc, char **argv)
         inform("trace written to %s (%zu captures)",
                trace.path.c_str(), captures.size());
     }
-    return 0;
+    return violations == 0 ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "harness/cli.hh"
+#include "harness/experiment.hh"
 #include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
@@ -41,6 +42,7 @@ struct Result
     std::uint64_t copybacks = 0;
     std::uint64_t stalls = 0;
     bool ok = false;
+    std::size_t auditViolations = 0;
     TraceCapture trace;
     ProfSnapshot profile;
     HostProfile host;
@@ -55,12 +57,14 @@ struct Result
  */
 Result
 run(TmKind kind, unsigned abort_every, const TraceParams &trace,
-    const ProfileParams &profile, int scale)
+    const ProfileParams &profile, const RobustnessParams &robust,
+    int scale)
 {
     SystemParams p;
     p.tmKind = kind;
     p.trace = trace;
     p.profile = profile;
+    robust.applyTo(p);
     p.l1Bytes = 1024;
     p.l2Bytes = 8 * 1024; // 128 lines: transactions overflow
     p.l2Assoc = 2;
@@ -143,6 +147,10 @@ run(TmKind kind, unsigned abort_every, const TraceParams &trace,
         if (v != (kRounds - 1) * kBlocks + b)
             res.ok = false;
     }
+    ExperimentResult audited;
+    audited.auditViolations = sys.auditor().violations();
+    res.auditViolations = reportAuditViolations(
+        "bench_ablation_commit_abort", "", p, audited);
     return res;
 }
 
@@ -165,6 +173,8 @@ main(int argc, char **argv)
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
     addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -199,9 +209,11 @@ main(int argc, char **argv)
 
     const TmKind kinds[] = {TmKind::SelectPtm, TmKind::CopyPtm,
                             TmKind::Vtm, TmKind::VcVtm};
+    std::size_t violations = 0;
     for (unsigned every : {0u, 4u, 2u}) {
         for (TmKind k : kinds) {
-            Result r = run(k, every, trace, profile, scale);
+            Result r = run(k, every, trace, profile, robust, scale);
+            violations += r.auditViolations;
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
             const char *rate = every == 0 ? "none"
@@ -249,5 +261,5 @@ main(int argc, char **argv)
     std::fprintf(hout, "\n(Expected: Select-PTM cheap everywhere; Copy-PTM "
                 "pays abort restores; VTM pays commit copybacks and "
                 "stalls; the victim cache hides part of them.)\n");
-    return 0;
+    return violations == 0 ? 0 : 1;
 }

@@ -40,6 +40,8 @@ main(int argc, char **argv)
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
     addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -70,6 +72,7 @@ main(int argc, char **argv)
                   "tx evictions", "flush aborts", "verified"});
     BenchRecorder rec("ablation_ctxsw");
 
+    std::size_t violations = 0;
     for (const char *app : {"lu", "water"}) {
         for (bool flush : {false, true}) {
             SystemParams prm;
@@ -79,7 +82,10 @@ main(int argc, char **argv)
             prm.flushOnContextSwitch = flush;
             prm.trace = trace;
             prm.profile = profile;
+            robust.applyTo(prm);
             ExperimentResult r = runWorkload(app, prm, scale, 8);
+            violations += reportAuditViolations("bench_ablation_ctxsw",
+                                                app, prm, r);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
             const char *mode =
@@ -126,5 +132,5 @@ main(int argc, char **argv)
     }
     std::fprintf(hout, "\n(Flushing forces overflow handling on every switch "
                 "inside a transaction; PTM's tagged lines avoid it.)\n");
-    return 0;
+    return violations == 0 ? 0 : 1;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "harness/cli.hh"
+#include "harness/experiment.hh"
 #include "harness/profile_io.hh"
 #include "harness/report.hh"
 #include "harness/stats_io.hh"
@@ -46,6 +47,7 @@ struct Result
     std::uint64_t swapIns = 0;
     std::uint64_t swapOuts = 0;
     bool ok = true;
+    std::size_t auditViolations = 0;
     TraceCapture trace;
     ProfSnapshot profile;
     HostProfile host;
@@ -53,13 +55,15 @@ struct Result
 
 Result
 run(ShadowFreePolicy policy, const TraceParams &trace,
-    const ProfileParams &profile, int scale)
+    const ProfileParams &profile, const RobustnessParams &robust,
+    int scale)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
     p.shadowFree = policy;
     p.trace = trace;
     p.profile = profile;
+    robust.applyTo(p);
     p.swapEnabled = true;
     // Pressure: homes + shadows exceed the frame count at either size.
     p.physFrames = scale ? 360 : 90;
@@ -131,6 +135,10 @@ run(ShadowFreePolicy policy, const TraceParams &trace,
                                          b * blockBytes) !=
                 pg * 1000 + b + 7)
                 r.ok = false;
+    ExperimentResult audited;
+    audited.auditViolations = sys.auditor().violations();
+    r.auditViolations = reportAuditViolations(
+        "bench_ablation_shadow_free", "", p, audited);
     return r;
 }
 
@@ -153,6 +161,8 @@ main(int argc, char **argv)
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
     addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -184,9 +194,11 @@ main(int argc, char **argv)
                   "live shadows at end", "lazy migrations", "swap-outs",
                   "swap-ins", "verified"});
     BenchRecorder rec("ablation_shadow_free");
+    std::size_t violations = 0;
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
-        Result r = run(pol, trace, profile, scale);
+        Result r = run(pol, trace, profile, robust, scale);
+        violations += r.auditViolations;
         if (!trace.path.empty())
             captures.push_back(std::move(r.trace));
         const char *label = pol == ShadowFreePolicy::MergeOnSwap
@@ -231,5 +243,5 @@ main(int argc, char **argv)
     std::fprintf(hout, "\n(LazyMigrate reclaims shadows through ordinary "
                 "write-backs; MergeOnSwap holds them until the OS "
                 "pages the home out and merges into the SIT image.)\n");
-    return 0;
+    return violations == 0 ? 0 : 1;
 }

@@ -96,6 +96,8 @@ main(int argc, char **argv)
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
     addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -132,6 +134,7 @@ main(int argc, char **argv)
                                  Granularity::WordCacheMem};
 
     bool all_ok = true;
+    std::size_t violations = 0;
     for (const auto &name : workloadNames()) {
         SystemParams sp;
         sp.tmKind = TmKind::Serial;
@@ -156,7 +159,10 @@ main(int argc, char **argv)
             prm.granularity = g;
             prm.trace = trace;
             prm.profile = profile;
+            robust.applyTo(prm);
             ExperimentResult r = runWorkload(name, prm, scale, 4);
+            violations +=
+                reportAuditViolations("bench_fig5", name, prm, r);
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));
             printRunProfile(hout, name + "/" + granularityName(g),
@@ -216,5 +222,5 @@ main(int argc, char **argv)
                 "wd:cache alone gives only minor gains.\n");
     std::fprintf(hout, "All results functionally verified: %s\n",
                 all_ok ? "yes" : "NO");
-    return all_ok ? 0 : 1;
+    return (all_ok && violations == 0) ? 0 : 1;
 }

@@ -70,6 +70,8 @@ main(int argc, char **argv)
                    "0 = tiny test size, 1 = benchmark size", scale);
     addTraceOptions(opts, trace);
     addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -102,12 +104,16 @@ main(int argc, char **argv)
                   "mop/evict"});
     BenchRecorder rec("table1");
 
+    std::size_t violations = 0;
     for (const auto &name : workloadNames()) {
         SystemParams prm;
         prm.tmKind = TmKind::SelectPtm;
         prm.trace = trace;
         prm.profile = profile;
+        robust.applyTo(prm);
         ExperimentResult r = runWorkload(name, prm, scale, 4);
+        violations +=
+            reportAuditViolations("bench_table1", name, prm, r);
         if (!trace.path.empty())
             captures.push_back(std::move(r.trace));
         printRunProfile(hout, name, r.profile, r.host);
@@ -173,5 +179,5 @@ main(int argc, char **argv)
                    cell("%.1f%%", p.ideal), cell("%.1f", p.mopPerEvict)});
     }
     paper.print(hout);
-    return 0;
+    return violations == 0 ? 0 : 1;
 }

@@ -16,7 +16,8 @@ namespace ptm
 Core::Core(CoreId id, const SystemParams &params, EventQueue &eq,
            MemSystem &mem, TxManager &txmgr, OsKernel &os)
     : id_(id), params_(params), eq_(eq), mem_(mem), txmgr_(txmgr),
-      os_(os), site_step_(eq.siteId("core.step")),
+      os_(os), backoff_rng_(params.seed, 0xb0ff + id),
+      site_step_(eq.siteId("core.step")),
       site_compute_(eq.siteId("core.compute")),
       site_xlat_(eq.siteId("core.xlat")),
       site_mem_(eq.siteId("core.mem"))
@@ -454,8 +455,18 @@ Core::handleAbort(ThreadCtx &t)
     const Transaction *txn = txmgr_.get(t.curTx);
     unsigned shift = txn ? std::min(txn->attempts, 8u) : 1;
     txmgr_.restart(t.curTx, eq_.curTick());
+    Tick delay = params_.abortRestartLatency << (shift - 1);
+    if (params_.contention.randomBackoff && delay > 1) {
+        // Randomize within the upper half of the exponential window so
+        // two transactions aborted by the same conflict do not retry
+        // in lockstep (livelock under symmetric contention). The draw
+        // comes from a per-core seeded stream, so runs stay exactly
+        // reproducible.
+        delay = delay / 2 +
+                backoff_rng_.below(std::uint32_t(delay / 2 + 1));
+    }
     // beginStep recreates the body coroutine (checkpoint restore).
-    scheduleStep(params_.abortRestartLatency << (shift - 1));
+    scheduleStep(delay);
 }
 
 } // namespace ptm

@@ -21,6 +21,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/profile.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "tx/tx_manager.hh"
@@ -136,6 +137,9 @@ class Core
     OsKernel &os_;
 
     CycleProfiler *prof_ = &CycleProfiler::nil();
+
+    /** Per-core stream for the randomized abort-restart backoff. */
+    Pcg32 backoff_rng_;
 
     ThreadCtx *cur_ = nullptr;
     ThreadCtx *last_ = nullptr;

@@ -7,6 +7,8 @@
 
 #include <cstdio>
 
+#include "sim/logging.hh"
+
 namespace ptm
 {
 
@@ -257,6 +259,126 @@ addProfileOptions(OptionTable &opts, ProfileParams &dest)
                     dest.hostSampleInterval = unsigned(n);
                     return true;
                 });
+}
+
+void
+addRobustnessOptions(OptionTable &opts, RobustnessParams &prm)
+{
+    opts.flag("chaos",
+              "enable deterministic fault injection (seeded; see "
+              "--chaos-seed / --chaos-plan)",
+              [&prm] { prm.chaos.enabled = true; });
+    opts.option("chaos-seed", "N",
+                "fault-injection RNG seed (default 1); implies --chaos",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n))
+                        return false;
+                    prm.chaos.enabled = true;
+                    prm.chaos.seed = n;
+                    return true;
+                });
+    opts.option("chaos-plan", "LIST",
+                "comma-separated fault kinds (abort,squeeze,flush,"
+                "swap,preempt,delay) or 'all'; implies --chaos",
+                [&prm](const std::string &v) {
+                    if (!parseChaosPlan(v, prm.chaos.plan))
+                        return false;
+                    prm.chaos.enabled = true;
+                    return true;
+                });
+    opts.option("chaos-interval", "TICKS",
+                "ticks between injected faults (default 50000); "
+                "implies --chaos",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0)
+                        return false;
+                    prm.chaos.enabled = true;
+                    prm.chaos.interval = Tick(n);
+                    return true;
+                });
+    opts.option("chaos-squeeze", "N",
+                "SPT/TAV cache capacity during a squeeze (default 4)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0 || n > 0xFFFFFFFFull)
+                        return false;
+                    prm.chaos.squeezeEntries = unsigned(n);
+                    return true;
+                });
+    opts.option("chaos-cleanup-delay", "TICKS",
+                "max extra delay before a commit/abort cleanup walk "
+                "starts (default 2000)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0)
+                        return false;
+                    prm.chaos.cleanupDelay = Tick(n);
+                    return true;
+                });
+
+    opts.flag("audit",
+              "walk and cross-check the PTM structures (SPT/SIT/TAV/"
+              "selection) at boundaries and intervals; PTM systems only",
+              [&prm] { prm.audit.enabled = true; });
+    opts.option("audit-interval", "TICKS",
+                "ticks between periodic audits (default 100000, 0 = "
+                "boundaries only); implies --audit",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n))
+                        return false;
+                    prm.audit.enabled = true;
+                    prm.audit.interval = Tick(n);
+                    return true;
+                });
+
+    opts.flag("backoff",
+              "randomize the exponential abort-restart backoff "
+              "(seeded per core; deterministic)",
+              [&prm] { prm.contention.randomBackoff = true; });
+    opts.option("watchdog", "N",
+                "starvation-watchdog threshold in consecutive aborts "
+                "(default 16, 0 disables)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n > 0xFFFFFFFFull)
+                        return false;
+                    prm.contention.watchdogThreshold = unsigned(n);
+                    return true;
+                });
+    opts.option("retry-budget", "N",
+                "consecutive aborts before a transaction claims the "
+                "serialized starvation token (0 disables)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n > 0xFFFFFFFFull)
+                        return false;
+                    prm.contention.retryBudget = unsigned(n);
+                    return true;
+                });
+}
+
+std::string
+chaosReproArgs(const SystemParams &prm)
+{
+    using ull = unsigned long long;
+    std::string s = strprintf("--seed %llu", (ull)prm.seed);
+    if (prm.chaos.enabled)
+        s += strprintf(" --chaos --chaos-seed %llu --chaos-plan %s "
+                       "--chaos-interval %llu",
+                       (ull)prm.chaos.seed,
+                       chaosPlanString(prm.chaos.plan).c_str(),
+                       (ull)prm.chaos.interval);
+    if (prm.audit.enabled)
+        s += strprintf(" --audit --audit-interval %llu",
+                       (ull)prm.audit.interval);
+    if (prm.contention.randomBackoff)
+        s += " --backoff";
+    if (prm.contention.retryBudget)
+        s += strprintf(" --retry-budget %u", prm.contention.retryBudget);
+    return s;
 }
 
 void

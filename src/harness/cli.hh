@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/config.hh"
 #include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -137,6 +138,49 @@ void addTraceOptions(OptionTable &opts, TraceParams &dest);
  * everywhere. --host-profile implies --profile.
  */
 void addProfileOptions(OptionTable &opts, ProfileParams &dest);
+
+/**
+ * The robustness-option bundle of a front end: fault injection,
+ * invariant auditing, and contention knobs, collected once and applied
+ * to every SystemParams the front end builds.
+ */
+struct RobustnessParams
+{
+    ChaosParams chaos;
+    AuditParams audit;
+    ContentionParams contention;
+
+    void
+    applyTo(SystemParams &prm) const
+    {
+        prm.chaos = chaos;
+        prm.audit = audit;
+        prm.contention = contention;
+    }
+};
+
+/**
+ * Register the shared robustness options storing into @p dest:
+ *
+ *  - fault injection: --chaos, --chaos-seed, --chaos-plan,
+ *    --chaos-interval, --chaos-squeeze, --chaos-cleanup-delay (the
+ *    value-taking chaos options imply --chaos);
+ *  - invariant auditing: --audit, --audit-interval (which implies
+ *    --audit);
+ *  - contention robustness: --backoff, --watchdog, --retry-budget.
+ *
+ * Used by ptm_sim and every bench_* front end so the robustness
+ * surface is identical everywhere.
+ */
+void addRobustnessOptions(OptionTable &opts, RobustnessParams &dest);
+
+/**
+ * The reproducer argument string for @p prm ("--seed N --chaos
+ * --chaos-seed M --chaos-plan ... --audit"): every robustness-relevant
+ * option needed to replay a failing chaos run. Printed alongside audit
+ * violations and workload-verification failures.
+ */
+std::string chaosReproArgs(const SystemParams &prm);
 
 /**
  * Print every statistic registered in @p reg as

@@ -5,6 +5,9 @@
 
 #include "harness/experiment.hh"
 
+#include <cstdio>
+
+#include "harness/cli.hh"
 #include "sim/logging.hh"
 
 namespace ptm
@@ -35,6 +38,8 @@ runWorkload(const std::string &workload_name, SystemParams params,
     r.verified = wl->verify(sys);
     r.profile = sys.profiler().snapshot();
     r.host = sys.eq().hostProfile();
+    r.auditViolations = sys.auditor().violations();
+    r.auditChecks = sys.auditor().checksRun.value();
     if (sys.tracer().active())
         r.trace = captureTrace(sys.tracer(),
                                workload_name + "/" +
@@ -43,6 +48,25 @@ runWorkload(const std::string &workload_name, SystemParams params,
         warn("%s/%s produced a wrong result", workload_name.c_str(),
              tmKindName(params.tmKind));
     return r;
+}
+
+std::size_t
+reportAuditViolations(const char *tool, const std::string &workload,
+                      const SystemParams &params,
+                      const ExperimentResult &r)
+{
+    for (const auto &v : r.auditViolations)
+        std::fprintf(stderr, "audit-violation: %s @%llu (%s): %s\n",
+                     v.check.c_str(), (unsigned long long)v.tick,
+                     v.where.c_str(), v.detail.c_str());
+    if (!r.auditViolations.empty()) {
+        std::string repro = chaosReproArgs(params);
+        std::fprintf(stderr, "repro: %s%s%s --system %s %s\n", tool,
+                     workload.empty() ? "" : " --workload ",
+                     workload.c_str(), tmKindArg(params.tmKind),
+                     repro.c_str());
+    }
+    return r.auditViolations.size();
 }
 
 double

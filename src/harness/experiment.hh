@@ -45,6 +45,14 @@ struct ExperimentResult
     ProfSnapshot profile;
     /** Host-side event-loop profile (params.profile.host). */
     HostProfile host;
+    /**
+     * Invariant violations the auditor detected (empty unless
+     * params.audit.enabled on a PTM system). A clean chaos run is one
+     * with verified == true AND auditViolations.empty().
+     */
+    std::vector<AuditViolation> auditViolations;
+    /** Full audit passes executed (params.audit.enabled). */
+    std::uint64_t auditChecks = 0;
 };
 
 /**
@@ -58,6 +66,21 @@ ExperimentResult runWorkload(const std::string &workload_name,
 
 /** Percent speedup of @p par over @p serial: (serial/par - 1) * 100. */
 double speedupPct(Tick serial, Tick par);
+
+/**
+ * Print @p r's audit violations to stderr as machine-greppable
+ * "audit-violation: CHECK @TICK (WHERE): DETAIL" lines followed by one
+ * "repro:" line rebuilding the failing invocation from @p params
+ * (tools/chaos_sweep.py parses both).
+ *
+ * @param tool      front-end name for the repro line
+ * @param workload  workload argument of the run ("" if not applicable)
+ * @return the number of violations printed
+ */
+std::size_t reportAuditViolations(const char *tool,
+                                  const std::string &workload,
+                                  const SystemParams &params,
+                                  const ExperimentResult &r);
 
 } // namespace ptm
 

@@ -5,6 +5,8 @@
 
 #include "harness/system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "vtm/vtm.hh"
 
@@ -75,6 +77,34 @@ System::System(const SystemParams &params)
     }
     os_.attach(&mem_, backend_.get(), std::move(core_ptrs));
 
+    txmgr_.setContention(params_.contention);
+
+    if (params_.chaos.enabled) {
+        chaos_.configure(params_.chaos);
+        if (vts_)
+            vts_->setChaos(&chaos_);
+    }
+    if (params_.audit.enabled) {
+        if (vts_) {
+            auditor_.attach(vts_, &txmgr_);
+            using ull = unsigned long long;
+            std::string repro =
+                strprintf("--seed %llu", (ull)params_.seed);
+            if (params_.chaos.enabled)
+                repro += strprintf(
+                    " --chaos --chaos-seed %llu --chaos-plan %s "
+                    "--chaos-interval %llu",
+                    (ull)params_.chaos.seed,
+                    chaosPlanString(params_.chaos.plan).c_str(),
+                    (ull)params_.chaos.interval);
+            auditor_.setRepro(repro);
+        } else {
+            warn("--audit requested but the %s backend has no PTM "
+                 "structures to audit",
+                 tmKindName(params_.tmKind));
+        }
+    }
+
     wireHooks();
     regStats();
 }
@@ -144,6 +174,11 @@ System::regStats()
         c->regStats(registry_);
     if (backend_)
         backend_->regStats(registry_);
+    // Opt-in groups only: the default stats JSON must stay identical.
+    if (params_.chaos.enabled)
+        chaos_.regStats(registry_);
+    if (auditor_.attached())
+        auditor_.regStats(registry_);
 }
 
 System::~System() = default;
@@ -166,9 +201,17 @@ System::wireHooks()
 {
     txmgr_.onLogicalCommit = [this](TxId tx) {
         mem_.commitClearTx(tx);
+        if (auditor_.attached() && params_.audit.atBoundaries)
+            auditor_.checkAll("commit", eq_.curTick());
     };
     txmgr_.onLogicalAbort = [this](TxId tx) {
         mem_.abortInvalidate(tx);
+        if (auditor_.attached() && params_.audit.atBoundaries)
+            auditor_.checkAll("abort", eq_.curTick());
+    };
+    os_.onThreadExit = [this](ThreadCtx *t) {
+        if (vts_)
+            vts_->drainThreadCleanups(t->id);
     };
     if (backend_) {
         txmgr_.backendCommit = [this](TxId tx) {
@@ -256,18 +299,138 @@ System::scheduleSample()
                    });
 }
 
+void
+System::startChaos()
+{
+    if (!chaos_.active())
+        return;
+    scheduleChaos();
+}
+
+void
+System::scheduleChaos()
+{
+    eq_.scheduleIn(params_.chaos.interval, EventPriority::Stats,
+                   [this] {
+                       injectChaos();
+                       if (os_.liveThreads() > 0)
+                           scheduleChaos();
+                   });
+}
+
+TxId
+System::pickLiveTx()
+{
+    // Collect and sort: unordered_map iteration order must not leak
+    // into the deterministic injection schedule.
+    std::vector<TxId> live;
+    for (const auto &[id, tx] : txmgr_.txTable())
+        if (tx.state == TxState::Running)
+            live.push_back(id);
+    if (live.empty())
+        return invalidTxId;
+    std::sort(live.begin(), live.end());
+    return live[chaos_.rng().below(std::uint32_t(live.size()))];
+}
+
+void
+System::injectChaos()
+{
+    std::uint32_t f = chaos_.pickFault();
+    if (!f)
+        return;
+    TxId victim = invalidTxId;
+    switch (ChaosFault(f)) {
+      case ChaosFault::ExplicitAbort:
+        victim = pickLiveTx();
+        if (victim == invalidTxId)
+            return;
+        ++chaos_.injectedAborts;
+        tracer_.record(TraceEventType::ChaosInject, traceNoId,
+                       traceNoId, victim, invalidTxId, f);
+        txmgr_.abort(victim, AbortReason::Explicit);
+        return;
+      case ChaosFault::CacheSqueeze:
+        if (!vts_)
+            return;
+        if (!squeezed_) {
+            vts_->sptCache.setCapacity(params_.chaos.squeezeEntries);
+            vts_->tavCache.setCapacity(params_.chaos.squeezeEntries);
+        } else {
+            vts_->sptCache.setCapacity(params_.sptCacheEntries);
+            vts_->tavCache.setCapacity(params_.tavCacheEntries);
+        }
+        squeezed_ = !squeezed_;
+        ++chaos_.cacheSqueezes;
+        break;
+      case ChaosFault::TxFlush:
+        victim = pickLiveTx();
+        if (victim == invalidTxId)
+            return;
+        ++chaos_.txFlushes;
+        // Forces the victim's cached transactional state out through
+        // the overflow path (spills into TAV/XADT structures).
+        mem_.flushTxLines(victim);
+        break;
+      case ChaosFault::PageSwap:
+        if (os_.forceSwapOut() == 0)
+            return;
+        ++chaos_.pageSwaps;
+        break;
+      case ChaosFault::Preempt: {
+          CoreId c = CoreId(chaos_.rng().below(params_.numCores));
+          cores_[c]->daemonPreempt(params_.daemonRunLength);
+          ++chaos_.preempts;
+          break;
+      }
+      case ChaosFault::CleanupDelay:
+        return; // polled at cleanup start, never scheduled
+    }
+    tracer_.record(TraceEventType::ChaosInject, traceNoId, traceNoId,
+                   victim, invalidTxId, f);
+}
+
+void
+System::startAudit()
+{
+    if (!auditor_.attached() || params_.audit.interval == 0)
+        return;
+    scheduleAudit();
+}
+
+void
+System::scheduleAudit()
+{
+    eq_.scheduleIn(params_.audit.interval, EventPriority::Stats,
+                   [this] {
+                       auditor_.checkAll("interval", eq_.curTick());
+                       if (os_.liveThreads() > 0)
+                           scheduleAudit();
+                   });
+}
+
 Tick
 System::run()
 {
     startSampler();
+    startChaos();
+    startAudit();
     os_.startTimers();
     os_.kickIdleCores();
     Tick limit = params_.maxTicks ? params_.maxTicks : maxTick;
     bool drained = eq_.run(limit);
     hit_limit_ = !drained;
-    if (!drained)
+    if (!drained) {
         warn("simulation hit the tick limit at %llu",
              (unsigned long long)eq_.curTick());
+        // Chaos-delayed or still-walking cleanups would otherwise leave
+        // the structures mid-flight; force them so the end-of-run audit
+        // (and any Copy-PTM restore) sees a settled state.
+        if (vts_)
+            vts_->drainAllCleanups();
+    }
+    if (auditor_.attached())
+        auditor_.checkAll("end", eq_.curTick());
     for (const auto &t : threads_) {
         if (t->state != ThreadState::Done && drained)
             panic("thread %u stuck in state %d at end of simulation",

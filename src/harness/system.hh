@@ -30,7 +30,9 @@
 #include "mem/frame_alloc.hh"
 #include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
+#include "ptm/audit.hh"
 #include "ptm/vts.hh"
+#include "sim/chaos.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace.hh"
@@ -198,6 +200,20 @@ class System
     CycleProfiler &profiler() { return profiler_; }
     const CycleProfiler &profiler() const { return profiler_; }
 
+    /**
+     * The deterministic fault injector. Inactive (every hook is one
+     * never-taken branch) unless params.chaos.enabled.
+     */
+    ChaosEngine &chaos() { return chaos_; }
+    const ChaosEngine &chaos() const { return chaos_; }
+
+    /**
+     * The PTM invariant auditor. Detached (checkAll() returns without
+     * walking anything) unless params.audit.enabled on a PTM backend.
+     */
+    PtmAuditor &auditor() { return auditor_; }
+    const PtmAuditor &auditor() const { return auditor_; }
+
     /** @name Component access (tests, benches) */
     /// @{
     EventQueue &eq() { return eq_; }
@@ -226,11 +242,22 @@ class System
     void unparkIfWaiting(ThreadCtx *t, ThreadState expected);
     void startSampler();
     void scheduleSample();
+    void startChaos();
+    void scheduleChaos();
+    void injectChaos();
+    void startAudit();
+    void scheduleAudit();
+    /** Deterministic live-transaction victim pick (sorted ids). */
+    TxId pickLiveTx();
 
     SystemParams params_;
     StatRegistry registry_;
     Tracer tracer_;
     CycleProfiler profiler_;
+    ChaosEngine chaos_;
+    PtmAuditor auditor_;
+    /** Chaos cache-squeeze state: capacities currently shrunk. */
+    bool squeezed_ = false;
     EventQueue eq_;
     PhysMem phys_;
     FrameAllocator frames_;

@@ -93,6 +93,20 @@ VtsMetaCache::remove(std::uint64_t key)
     free_.push_back(i);
 }
 
+void
+VtsMetaCache::setCapacity(unsigned entries)
+{
+    capacity_ = entries ? entries : 1;
+    while (index_.size() > capacity_) {
+        std::uint32_t victim = tail_;
+        if (nodes_[victim].dirty)
+            ++dirtyEvictions;
+        unlink(victim);
+        index_.erase(nodes_[victim].key);
+        free_.push_back(victim);
+    }
+}
+
 Vts::Vts(const SystemParams &params, EventQueue &eq, PhysMem &phys,
          TxManager &txmgr, FrameAllocator &frames, DramModel &dram)
     : sptCache(params.sptCacheEntries), tavCache(params.tavCacheEntries),
@@ -723,13 +737,94 @@ Vts::readCommittedWord32(Addr word_addr)
 void
 Vts::commitTx(TxId tx)
 {
-    startCleanup(tx, true);
+    scheduleCleanup(tx, true);
 }
 
 void
 Vts::abortTx(TxId tx)
 {
-    startCleanup(tx, false);
+    scheduleCleanup(tx, false);
+}
+
+void
+Vts::scheduleCleanup(TxId tx, bool is_commit)
+{
+    // Chaos hook: hold the walk's start back by a polled delay. While
+    // the start is pending the TAV lists are untouched, so conflict
+    // checks keep stalling behind the Committing/Aborting nodes — the
+    // delay stretches exactly the window where stale metadata could be
+    // observed.
+    Tick delay = chaos_->cleanupDelay();
+    if (delay) {
+        pending_delayed_[tx] = is_commit;
+        eq_.scheduleIn(delay, EventPriority::Supervisor, [this, tx] {
+            bool *is_c = pending_delayed_.find(tx);
+            if (!is_c)
+                return; // already forced by finishCleanupNow()
+            bool c = *is_c;
+            pending_delayed_.erase(tx);
+            startCleanup(tx, c);
+        });
+        return;
+    }
+    startCleanup(tx, is_commit);
+}
+
+void
+Vts::finishCleanupNow(TxId tx)
+{
+    if (bool *is_c = pending_delayed_.find(tx)) {
+        bool c = *is_c;
+        pending_delayed_.erase(tx);
+        startCleanup(tx, c); // may finish synchronously (no overflow)
+    }
+    CleanupJob *j = jobs_.find(tx);
+    if (!j)
+        return;
+    while (j->next < j->nodes.size()) {
+        processNode(*j, j->nodes[j->next]);
+        ++j->next;
+    }
+    Distribution &lat =
+        j->isCommit ? commitCleanupLatency : abortCleanupLatency;
+    lat.sample(double(eq_.curTick() - j->startTick));
+    tracer_->record(TraceEventType::WalkEnd, traceNoId, traceNoId, tx,
+                    invalidTxId, j->isCommit ? 1 : 0, j->nodes.size());
+    jobs_.erase(tx);
+    Transaction *txn = txmgr_.get(tx);
+    if (txn && txn->overflowed) {
+        panic_if(overflowed_live_ == 0, "overflow count underflow");
+        --overflowed_live_;
+    }
+    txmgr_.cleanupDone(tx);
+}
+
+void
+Vts::drainThreadCleanups(ThreadId thread)
+{
+    // Collect ids first: finishCleanupNow mutates jobs_ and
+    // pending_delayed_, and cleanupDone can cascade. Sorting keeps the
+    // drain order independent of hash-table iteration order.
+    std::vector<TxId> ids;
+    for (const auto &[id, tx] : txmgr_.txTable())
+        if (tx.thread == thread && tx.state == TxState::Aborting)
+            ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (TxId id : ids)
+        finishCleanupNow(id);
+}
+
+void
+Vts::drainAllCleanups()
+{
+    std::vector<TxId> ids;
+    for (const auto &[id, tx] : txmgr_.txTable())
+        if (tx.state == TxState::Committing ||
+            tx.state == TxState::Aborting)
+            ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (TxId id : ids)
+        finishCleanupNow(id);
 }
 
 void
@@ -788,7 +883,10 @@ Vts::cleanupStep(TxId tx)
                   done - t);
 
     eq_.schedule(done, EventPriority::Supervisor, [this, tx]() {
-        CleanupJob &j = jobs_.at(tx);
+        CleanupJob *jp = jobs_.find(tx);
+        if (!jp)
+            return; // walk already forced by finishCleanupNow()
+        CleanupJob &j = *jp;
         processNode(j, j.nodes[j.next]);
         ++j.next;
         if (j.next == j.nodes.size()) {

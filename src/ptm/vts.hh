@@ -49,6 +49,9 @@
 namespace ptm
 {
 
+class PtmAuditor;
+struct AuditTestAccess;
+
 /**
  * Timing model of a fully-associative, LRU, write-back metadata cache
  * in the memory controller (the SPT cache and the TAV cache). The
@@ -82,6 +85,15 @@ class VtsMetaCache
 
     /** Drop @p key (structure freed). */
     void remove(std::uint64_t key);
+
+    /**
+     * Change the capacity at runtime (chaos cache squeezes), evicting
+     * LRU entries — with normal write-back accounting — until the new
+     * capacity holds. A zero @p entries is clamped to 1.
+     */
+    void setCapacity(unsigned entries);
+
+    unsigned capacity() const { return capacity_; }
 
     Counter hits;
     Counter misses;
@@ -139,6 +151,9 @@ class Vts : public TmBackend
     /** Attach the cycle profiler (System wiring; defaults to nil). */
     void setProfiler(CycleProfiler *p) { prof_ = p; }
 
+    /** Attach the fault injector (System wiring; defaults to nil). */
+    void setChaos(ChaosEngine *c) { chaos_ = c; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -184,6 +199,27 @@ class Vts : public TmBackend
     /** The SPT entry of @p home, nullptr if none (tests/inspection). */
     const SptEntry *sptEntry(PageNum home) const;
 
+    /**
+     * Force @p tx's cleanup to completion right now: starts a
+     * chaos-delayed walk that has not begun and synchronously
+     * processes every remaining node of its job. No-op if @p tx has
+     * no cleanup in flight. Used when simulated time is up and by
+     * drainThreadCleanups().
+     */
+    void finishCleanupNow(TxId tx);
+
+    /**
+     * Flush the in-flight *abort* cleanups of every transaction owned
+     * by @p thread. Called at thread exit so a stale Copy-PTM restore
+     * can never run after the thread is gone (and, transitively, can
+     * never race a later reuse of its pages). Commit cleanups are
+     * side-effect-free for restarts and keep draining lazily.
+     */
+    void drainThreadCleanups(ThreadId thread);
+
+    /** Flush every in-flight cleanup (end of run under --max-ticks). */
+    void drainAllCleanups();
+
     /** Number of shadow pages currently allocated. */
     std::uint64_t liveShadowPages() const { return shadow_pages_; }
 
@@ -219,6 +255,9 @@ class Vts : public TmBackend
     /// @}
 
   private:
+    friend class PtmAuditor;
+    friend struct AuditTestAccess;
+
     struct CleanupJob
     {
         bool isCommit = false;
@@ -263,6 +302,7 @@ class Vts : public TmBackend
     void noteOverflow(TxId tx);
 
     /** Background walk machinery. */
+    void scheduleCleanup(TxId tx, bool is_commit);
     void startCleanup(TxId tx, bool is_commit);
     void cleanupStep(TxId tx);
     void processNode(CleanupJob &job, TavNode *node);
@@ -275,6 +315,7 @@ class Vts : public TmBackend
     DramModel &dram_;
     Tracer *tracer_ = &Tracer::nil();
     CycleProfiler *prof_ = &CycleProfiler::nil();
+    ChaosEngine *chaos_ = &ChaosEngine::nil();
     PageGran gran_;
     bool select_;
 
@@ -288,6 +329,8 @@ class Vts : public TmBackend
     /** Vertical TAV list heads (T-State links). */
     FlatMap<TxId, TavNode *> tx_head_;
     FlatMap<TxId, CleanupJob> jobs_;
+    /** Cleanups whose start a chaos delay is holding (value: commit). */
+    FlatMap<TxId, bool> pending_delayed_;
 
     /** Slab allocator for every TAV node this backend creates. */
     TavArena tav_arena_;

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Chaos engine implementation.
+ */
+
+#include "sim/chaos.hh"
+
+namespace ptm
+{
+
+namespace
+{
+
+struct FaultName
+{
+    const char *name;
+    ChaosFault fault;
+};
+
+constexpr FaultName kFaults[] = {
+    {"abort", ChaosFault::ExplicitAbort},
+    {"squeeze", ChaosFault::CacheSqueeze},
+    {"flush", ChaosFault::TxFlush},
+    {"swap", ChaosFault::PageSwap},
+    {"preempt", ChaosFault::Preempt},
+    {"delay", ChaosFault::CleanupDelay},
+};
+
+} // namespace
+
+const char *
+chaosFaultName(ChaosFault f)
+{
+    for (const auto &e : kFaults)
+        if (e.fault == f)
+            return e.name;
+    return "?";
+}
+
+bool
+parseChaosPlan(const std::string &s, std::uint32_t &mask)
+{
+    std::uint32_t out = 0;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string name = s.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            out |= chaosPlanAll;
+            continue;
+        }
+        bool found = false;
+        for (const auto &e : kFaults) {
+            if (name == e.name) {
+                out |= chaosFaultMask(e.fault);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    mask = out;
+    return true;
+}
+
+std::string
+chaosPlanString(std::uint32_t mask)
+{
+    if ((mask & chaosPlanAll) == chaosPlanAll)
+        return "all";
+    std::string out;
+    for (const auto &e : kFaults) {
+        if (!(mask & chaosFaultMask(e.fault)))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += e.name;
+    }
+    return out;
+}
+
+void
+ChaosEngine::configure(const ChaosParams &p)
+{
+    prm_ = p;
+    active_ = p.enabled && (p.plan & chaosPlanAll) != 0;
+    if (!active_)
+        return;
+    rng_ = Pcg32(p.seed, 0x5eed);
+    schedulable_.clear();
+    for (const auto &e : kFaults)
+        if (e.fault != ChaosFault::CleanupDelay &&
+            (p.plan & chaosFaultMask(e.fault)))
+            schedulable_.push_back(e.fault);
+}
+
+std::uint32_t
+ChaosEngine::pickFault()
+{
+    if (schedulable_.empty())
+        return 0;
+    std::size_t i = rng_.below(std::uint32_t(schedulable_.size()));
+    return chaosFaultMask(schedulable_[i]);
+}
+
+Tick
+ChaosEngine::cleanupDelay()
+{
+    if (!planned(ChaosFault::CleanupDelay))
+        return 0;
+    // Half the walks start on time: mixing delayed and prompt walks
+    // exercises both orders of cleanup-vs-restart arrival.
+    if (!rng_.chance(0.5))
+        return 0;
+    ++cleanupDelays;
+    // 1..cleanupDelay ticks, so a delayed walk is never a no-op.
+    return 1 + Tick(rng_.below(std::uint32_t(prm_.cleanupDelay)));
+}
+
+void
+ChaosEngine::regStats(StatRegistry &reg)
+{
+    StatGroup &g = reg.addGroup("chaos");
+    g.addCounter("injected_aborts", &injectedAborts,
+                 "explicit aborts injected into live transactions");
+    g.addCounter("cache_squeezes", &cacheSqueezes,
+                 "SPT/TAV cache capacity squeezes applied");
+    g.addCounter("tx_flushes", &txFlushes,
+                 "forced flushes of a live transaction's cache lines");
+    g.addCounter("page_swaps", &pageSwaps, "forced page swap-outs");
+    g.addCounter("preempts", &preempts,
+                 "surprise daemon preemptions injected");
+    g.addCounter("cleanup_delays", &cleanupDelays,
+                 "commit/abort cleanup walks artificially delayed");
+}
+
+ChaosEngine &
+ChaosEngine::nil()
+{
+    static ChaosEngine inert;
+    return inert;
+}
+
+} // namespace ptm

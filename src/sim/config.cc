@@ -29,6 +29,26 @@ tmKindName(TmKind k)
 }
 
 const char *
+tmKindArg(TmKind k)
+{
+    switch (k) {
+      case TmKind::Serial:
+        return "serial";
+      case TmKind::Locks:
+        return "locks";
+      case TmKind::CopyPtm:
+        return "copy-ptm";
+      case TmKind::SelectPtm:
+        return "sel-ptm";
+      case TmKind::Vtm:
+        return "vtm";
+      case TmKind::VcVtm:
+        return "vc-vtm";
+    }
+    return "?";
+}
+
+const char *
 granularityName(Granularity g)
 {
     switch (g) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/chaos.hh"
 #include "sim/profile.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -74,6 +75,10 @@ enum class ShadowFreePolicy
 /** Returns a short human-readable label ("Sel-PTM", "VC-VTM", ...). */
 const char *tmKindName(TmKind k);
 
+/** Returns the --system argument spelling ("sel-ptm", "vc-vtm", ...):
+ *  the inverse of parseTmKind, used by reproducer lines. */
+const char *tmKindArg(TmKind k);
+
 /** Returns the Figure 5 label for a granularity mode. */
 const char *granularityName(Granularity g);
 
@@ -90,6 +95,40 @@ bool parseTmKind(const std::string &s, TmKind &out);
  * @return false if @p s names no mode (@p out untouched).
  */
 bool parseGranularity(const std::string &s, Granularity &out);
+
+/** PTM invariant-auditor configuration (ptm/audit.{hh,cc}). */
+struct AuditParams
+{
+    /** Master switch; the auditor is never built while false. */
+    bool enabled = false;
+    /** Ticks between periodic full audits (0 = boundaries only). */
+    Tick interval = 100000;
+    /** Also audit at every logical commit/abort boundary. */
+    bool atBoundaries = true;
+};
+
+/** Contention-robustness knobs (tx/tx_manager, cpu/core). */
+struct ContentionParams
+{
+    /**
+     * Randomize the exponential abort-restart backoff: the delay is
+     * drawn uniformly from the upper half of the deterministic
+     * exponential window (seeded per core, so still reproducible).
+     * Off preserves the fixed schedule bit-for-bit.
+     */
+    bool randomBackoff = false;
+    /**
+     * Consecutive aborts of one transaction before the starvation
+     * watchdog trips (stats + trace event). 0 disables the watchdog.
+     */
+    unsigned watchdogThreshold = 16;
+    /**
+     * Consecutive aborts after which a transaction may claim the
+     * serialized "starvation mode" token, winning every subsequent
+     * arbitration until it commits. 0 disables escalation.
+     */
+    unsigned retryBudget = 0;
+};
 
 /** All tunables of one simulated system instance. */
 struct SystemParams
@@ -197,6 +236,15 @@ struct SystemParams
 
     /** Cycle-accounting / host profiling (off by default). */
     ProfileParams profile;
+
+    /** Deterministic fault injection (off by default). */
+    ChaosParams chaos;
+
+    /** PTM invariant auditing (off by default). */
+    AuditParams audit;
+
+    /** Contention-robustness knobs (watchdog on, escalation off). */
+    ContentionParams contention;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -37,6 +37,9 @@ traceEventTypeName(TraceEventType t)
       case TraceEventType::CtxSwitch: return "ctx_switch";
       case TraceEventType::Watchpoint: return "watchpoint";
       case TraceEventType::CounterSample: return "counter_sample";
+      case TraceEventType::ChaosInject: return "chaos_inject";
+      case TraceEventType::WatchdogTrip: return "watchdog_trip";
+      case TraceEventType::StarvationGrant: return "starvation_grant";
     }
     return "unknown";
 }
@@ -53,6 +56,7 @@ traceCatName(TraceCat c)
       case TraceCat::Os: return "os";
       case TraceCat::Watch: return "watch";
       case TraceCat::Sample: return "sample";
+      case TraceCat::Chaos: return "chaos";
     }
     return "unknown";
 }
@@ -82,6 +86,7 @@ parseTraceCategories(const std::string &s, std::uint32_t &mask)
         {"meta", TraceCat::Meta},     {"page", TraceCat::Page},
         {"cache", TraceCat::Cache},   {"os", TraceCat::Os},
         {"watch", TraceCat::Watch},   {"sample", TraceCat::Sample},
+        {"chaos", TraceCat::Chaos},
     };
 
     std::uint32_t out = 0;

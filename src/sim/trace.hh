@@ -44,10 +44,11 @@ enum class TraceCat : std::uint32_t
     Os       = 1u << 5, //!< context switches
     Watch    = 1u << 6, //!< watchpoint hits (--watch-addr)
     Sample   = 1u << 7, //!< periodic counter samples
+    Chaos    = 1u << 8, //!< fault injections, watchdog trips
 };
 
 /** Bitmask with every category enabled. */
-constexpr std::uint32_t traceCatAll = 0xffu;
+constexpr std::uint32_t traceCatAll = 0x1ffu;
 
 /** The raw bit of one category. */
 constexpr std::uint32_t
@@ -82,13 +83,16 @@ enum class TraceEventType : std::uint8_t
     LineEvict,      //!< a0: block address; a1: live tx marks on the line
     Writeback,      //!< a0: block address
     CtxSwitch,      //!< a0: 1 preemption, 0 natural; thread: incoming
-    Watchpoint,     //!< a0: address; a1: WatchKind; v: value
-    CounterSample,  //!< a0: series index; v: sampled value
+    Watchpoint,      //!< a0: address; a1: WatchKind; v: value
+    CounterSample,   //!< a0: series index; v: sampled value
+    ChaosInject,     //!< a0: ChaosFault bit; tx: victim (if any)
+    WatchdogTrip,    //!< tx: id; a0: consecutive aborts
+    StarvationGrant, //!< tx: id; a0: consecutive aborts
 };
 
 /** Number of distinct TraceEventType values. */
 constexpr unsigned traceEventTypes =
-    unsigned(TraceEventType::CounterSample) + 1;
+    unsigned(TraceEventType::StarvationGrant) + 1;
 
 /** What a watchpoint event observed (Watchpoint payload a1). */
 enum class WatchKind : std::uint8_t
@@ -142,6 +146,10 @@ traceEventCat(TraceEventType t)
         return TraceCat::Watch;
       case TraceEventType::CounterSample:
         return TraceCat::Sample;
+      case TraceEventType::ChaosInject:
+      case TraceEventType::WatchdogTrip:
+      case TraceEventType::StarvationGrant:
+        return TraceCat::Chaos;
     }
     return TraceCat::Tx;
 }

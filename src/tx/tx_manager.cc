@@ -28,6 +28,10 @@ TxManager::regStats(StatRegistry &reg)
                  "nested tx_begins flattened into the outer tx");
     g.addCounter("ordered_waits", &orderedWaits,
                  "ordered commits that waited for the token");
+    g.addCounter("watchdog_trips", &watchdogTrips,
+                 "starvation-watchdog trips (N consecutive aborts)");
+    g.addCounter("starvation_grants", &starvationGrants,
+                 "serialized starvation-token grants");
 }
 
 const char *
@@ -113,6 +117,26 @@ TxManager::restart(TxId id, Tick now)
     ++live_count_;
     tracer_->recordAt(now, TraceEventType::TxRestart, traceNoId,
                       tx->thread, id, invalidTxId, tx->attempts);
+
+    // Starvation/livelock watchdog: attempts - 1 is the number of
+    // consecutive aborts this transaction has suffered. Trips are
+    // observability only (stats + trace); escalation below changes
+    // arbitration and is gated on an explicit retry budget.
+    unsigned failures = tx->attempts - 1;
+    if (contention_.watchdogThreshold && failures &&
+        failures % contention_.watchdogThreshold == 0) {
+        ++watchdogTrips;
+        tracer_->recordAt(now, TraceEventType::WatchdogTrip, traceNoId,
+                          tx->thread, id, invalidTxId, failures);
+    }
+    if (contention_.retryBudget && failures >= contention_.retryBudget &&
+        starvation_holder_ == invalidTxId) {
+        starvation_holder_ = id;
+        ++starvationGrants;
+        tracer_->recordAt(now, TraceEventType::StarvationGrant,
+                          traceNoId, tx->thread, id, invalidTxId,
+                          failures);
+    }
 }
 
 CommitResult
@@ -149,6 +173,8 @@ TxManager::doLogicalCommit(Transaction &tx)
     active_by_thread_.erase(tx.thread);
     --live_count_;
     ++commits;
+    if (tx.id == starvation_holder_)
+        starvation_holder_ = invalidTxId; // token released by commit
     tracer_->record(TraceEventType::TxCommit, traceNoId, tx.thread,
                     tx.id);
     prof_->charge(ProfCharge::CommittedTxTicks,
@@ -278,17 +304,27 @@ TxManager::resolveConflicts(TxId requester,
              "conflict resolution for non-live requester %llu",
              (unsigned long long)requester);
 
-    std::uint64_t min_age = req->age;
+    // The starvation-token holder arbitrates as if it were the oldest
+    // transaction in the system (effective age 0; real ages start at
+    // 1 << 40). Non-transactional requesters still always win above.
+    auto eff_age = [this](TxId id, std::uint64_t age) {
+        return (starvation_holder_ != invalidTxId &&
+                id == starvation_holder_)
+                   ? std::uint64_t(0)
+                   : age;
+    };
+
+    std::uint64_t min_age = eff_age(requester, req->age);
     TxId oldest = requester;
     for (TxId c : conflicting) {
         const Transaction *tx = get(c);
-        if (tx && tx->live() && tx->age < min_age) {
-            min_age = tx->age;
+        if (tx && tx->live() && eff_age(c, tx->age) < min_age) {
+            min_age = eff_age(c, tx->age);
             oldest = c;
         }
     }
 
-    if (min_age == req->age) {
+    if (oldest == requester) {
         // Requester is the oldest: abort every live contender.
         for (TxId c : conflicting) {
             if (c != requester && isLive(c)) {

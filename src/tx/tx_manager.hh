@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/config.hh"
 #include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -27,6 +28,8 @@
 
 namespace ptm
 {
+
+struct AuditTestAccess;
 
 /** Why a transaction was aborted (statistics / traces). */
 enum class AbortReason
@@ -164,6 +167,21 @@ class TxManager
     /** Number of transactions currently live. */
     unsigned liveCount() const { return live_count_; }
 
+    /** The whole T-State table (auditor / chaos victim selection). */
+    const std::unordered_map<TxId, Transaction> &txTable() const
+    {
+        return table_;
+    }
+
+    /** Configure the contention-robustness knobs (System wiring). */
+    void setContention(const ContentionParams &p) { contention_ = p; }
+
+    /**
+     * Holder of the serialized starvation token (wins every
+     * arbitration until it commits); invalidTxId when free.
+     */
+    TxId starvationHolder() const { return starvation_holder_; }
+
     /** Register this component's statistics under "tx". */
     void regStats(StatRegistry &reg);
 
@@ -186,9 +204,14 @@ class TxManager
     /// @}
     Counter nestedBegins;
     Counter orderedWaits;
+    /** Starvation-watchdog trips (N consecutive aborts of one tx). */
+    Counter watchdogTrips;
+    /** Serialized starvation-token grants (escalations). */
+    Counter starvationGrants;
     /// @}
 
   private:
+    friend struct AuditTestAccess;
     struct OrderedScope
     {
         std::uint64_t nextRank = 0;
@@ -206,6 +229,8 @@ class TxManager
     TxId next_id_ = 1;
     std::uint64_t next_age_ = 1;
     unsigned live_count_ = 0;
+    ContentionParams contention_;
+    TxId starvation_holder_ = invalidTxId;
 };
 
 } // namespace ptm

@@ -186,6 +186,14 @@ OsKernel::reclaimFrames()
 }
 
 Tick
+OsKernel::forceSwapOut()
+{
+    if (!params_.swapEnabled)
+        return 0;
+    return swapOutOne();
+}
+
+Tick
 OsKernel::swapOutOne()
 {
     // FIFO scan for a swappable victim: resident, not pinned by live
@@ -280,7 +288,8 @@ OsKernel::pickReady()
 void
 OsKernel::threadExited(ThreadCtx *t)
 {
-    (void)t;
+    if (onThreadExit)
+        onThreadExit(t);
     panic_if(live_threads_ == 0, "thread exit underflow");
     --live_threads_;
     last_exit_ = eq_.curTick();

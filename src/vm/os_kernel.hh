@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "cache/tlb.hh"
@@ -100,6 +101,12 @@ class OsKernel
     bool hasReady() const { return !ready_.empty(); }
     /** A thread finished its program. */
     void threadExited(ThreadCtx *t);
+    /**
+     * Invoked at the top of threadExited(). The System drains the
+     * exiting thread's in-flight abort cleanups here so a stale
+     * Copy-PTM restore can never run after the thread is gone.
+     */
+    std::function<void(ThreadCtx *)> onThreadExit;
     /** Tick at which the last thread finished. */
     Tick lastExitTick() const { return last_exit_; }
     /** Threads admitted and not yet exited. */
@@ -124,6 +131,13 @@ class OsKernel
 
     /** Start the periodic timer/daemon machinery (call once). */
     void startTimers();
+
+    /**
+     * Swap one resident, swappable page out right now (chaos PageSwap
+     * fault). @return the modeled latency, 0 if no victim was found or
+     * swapping is disabled.
+     */
+    Tick forceSwapOut();
 
     /** Record a transactional write for Table 1's "pg-x-wr". */
     void

@@ -33,11 +33,13 @@ EVENT_NAMES = {
     "tav_evict", "walk_start", "walk_end", "shadow_alloc",
     "shadow_free", "sel_flip", "page_fault", "swap_out", "swap_in",
     "overflow_spill", "line_evict", "writeback", "ctx_switch",
-    "watchpoint", "counter_sample",
+    "watchpoint", "counter_sample", "chaos_inject", "watchdog_trip",
+    "starvation_grant",
 }
 
 CATEGORIES = {
     "tx", "conflict", "meta", "page", "cache", "os", "watch", "sample",
+    "chaos",
 }
 
 # Optional event-line fields and the JSON types they must carry.

@@ -80,6 +80,8 @@ main(int argc, char **argv)
                       json_path);
     addTraceOptions(opts, prm.trace);
     addProfileOptions(opts, prm.profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
     bool list_stats = false;
     opts.flag("list-stats",
               "list every statistic of the configured system and exit",
@@ -97,6 +99,8 @@ main(int argc, char **argv)
       case CliStatus::Error:
         return 2;
     }
+
+    robust.applyTo(prm);
 
     if (list_stats) {
         System sys(prm);
@@ -137,6 +141,10 @@ main(int argc, char **argv)
         std::printf("cycles            %llu\n",
                     (unsigned long long)r.cycles);
         std::printf("verified          %s\n", r.verified ? "yes" : "NO");
+        if (prm.audit.enabled)
+            std::printf("audit             %llu passes, %zu violations\n",
+                        (unsigned long long)r.auditChecks,
+                        r.auditViolations.size());
         std::printf("memOps            %llu\n",
                     (unsigned long long)s.counter("sys.mem_ops"));
         std::printf("commits/aborts    %llu / %llu\n",
@@ -236,5 +244,7 @@ main(int argc, char **argv)
                         (unsigned long long)r.trace.events.size(),
                         (unsigned long long)r.trace.dropped);
     }
-    return r.verified ? 0 : 1;
+    std::size_t violations =
+        reportAuditViolations("ptm_sim", workload, prm, r);
+    return (r.verified && violations == 0) ? 0 : 1;
 }
