@@ -1,0 +1,208 @@
+/**
+ * @file
+ * bench_kv — the serving-workload flagship bench: the transactional
+ * B+-tree KV store on Select-PTM, swept over thread count and Zipfian
+ * skew.
+ *
+ * Each configuration reports committed transactions per second (at
+ * the nominal 1 GHz clock), the per-cause abort breakdown, and the
+ * p50/p95/p99 end-to-end commit latency from the tx.commit_latency
+ * distribution — the serving-style tail-latency view the SPLASH
+ * throughput benches cannot give. The uniform (zipf 0) rows isolate
+ * what skew costs: hot leaves concentrate conflicts and push the
+ * latency tail out.
+ *
+ * With --scale 0 a reduced sweep runs on the tiny store (CI smoke);
+ * --wl-opt passes extra kv options (e.g. --wl-opt tx-ops=8) into
+ * every configuration of the sweep.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+#include "harness/experiment.hh"
+#include "harness/profile_io.hh"
+#include "harness/report.hh"
+#include "harness/stats_io.hh"
+#include "harness/trace_io.hh"
+#include "sim/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ptm;
+
+    std::string json_path;
+    TraceParams trace;
+    ProfileParams profile;
+    int scale = 1;
+    WorkloadOptList wl_opts;
+    OptionTable opts("bench_kv",
+                     "KV serving workload: committed tx/sec, abort "
+                     "causes and commit-latency percentiles on "
+                     "Select-PTM across threads and Zipfian skew.");
+    opts.optionString("json", "FILE",
+                      "write ptm-bench-v1 results to FILE (- = stdout)",
+                      json_path);
+    opts.optionInt("scale", "N",
+                   "0 = tiny store + reduced sweep, 1 = benchmark size",
+                   scale);
+    addWorkloadOptions(opts, wl_opts);
+    addTraceOptions(opts, trace);
+    addProfileOptions(opts, profile);
+    RobustnessParams robust;
+    addRobustnessOptions(opts, robust);
+    switch (opts.parse(argc, argv)) {
+      case CliStatus::Ok:
+        break;
+      case CliStatus::Exit:
+        return 0;
+      case CliStatus::Error:
+        return 2;
+    }
+
+    // Only one machine-readable stream can own stdout.
+    if (json_path == "-" && trace.path == "-") {
+        std::fprintf(stderr, "bench_kv: --json - and --trace - "
+                             "cannot both write to stdout\n");
+        return 2;
+    }
+    bool machine_stdout = json_path == "-" || trace.path == "-";
+    if (machine_stdout)
+        setInformToStderr(true);
+    std::FILE *hout = machine_stdout ? stderr : stdout;
+    std::vector<TraceCapture> captures;
+
+    const std::vector<unsigned> thread_sweep =
+        scale == 0 ? std::vector<unsigned>{2, 4}
+                   : std::vector<unsigned>{1, 2, 4, 8};
+    const double zipf_sweep[] = {0.0, 0.99};
+
+    std::fprintf(hout, "KV serving workload on Sel-PTM "
+                       "(committed tx/sec at 1 GHz)\n\n");
+    Report table({"config", "commits", "aborts", "abort%", "tx/Mcyc",
+                  "p50", "p95", "p99", "SPT hit%", "TAV hit%", "ok"});
+    BenchRecorder rec("kv");
+
+    bool all_ok = true;
+    std::size_t violations = 0;
+    for (unsigned threads : thread_sweep) {
+        for (double zipf : zipf_sweep) {
+            std::string zstr = zipf == 0.0 ? "0" : "0.99";
+            std::string config =
+                "t" + std::to_string(threads) + "-z" + zstr;
+
+            SystemParams prm;
+            prm.tmKind = TmKind::SelectPtm;
+            prm.numCores = threads;
+            prm.trace = trace;
+            prm.profile = profile;
+            robust.applyTo(prm);
+
+            WorkloadOptList given;
+            given.emplace_back("zipf", zstr);
+            given.insert(given.end(), wl_opts.begin(), wl_opts.end());
+
+            ExperimentResult r =
+                runWorkload("kv", prm, scale, threads, given);
+            violations +=
+                reportAuditViolations("bench_kv", "kv", prm, r);
+            if (!trace.path.empty())
+                captures.push_back(std::move(r.trace));
+            printRunProfile(hout, "kv/" + config, r.profile, r.host);
+            all_ok = all_ok && r.verified;
+
+            const StatSnapshot &s = r.snapshot;
+            std::uint64_t commits = s.counter("tx.commits");
+            std::uint64_t aborts = s.counter("tx.aborts");
+            double attempts = double(commits + aborts);
+            double abort_rate = attempts ? aborts / attempts : 0.0;
+            double tx_per_mcycle =
+                r.cycles ? commits / (double(r.cycles) / 1e6) : 0.0;
+            // One tick is one cycle of the paper's 1 GHz CMP, so
+            // tx/sec at the nominal clock is tx/cycle * 1e9.
+            double tx_per_sec =
+                r.cycles ? commits / (double(r.cycles) / 1e9) : 0.0;
+
+            const StatValue *lat = s.find("tx.commit_latency");
+            double p50 = lat ? lat->dist.percentile(50) : 0.0;
+            double p95 = lat ? lat->dist.percentile(95) : 0.0;
+            double p99 = lat ? lat->dist.percentile(99) : 0.0;
+
+            std::uint64_t spt_h = s.counter("vts.spt_cache_hits");
+            std::uint64_t spt_m = s.counter("vts.spt_cache_misses");
+            std::uint64_t tav_h = s.counter("vts.tav_cache_hits");
+            std::uint64_t tav_m = s.counter("vts.tav_cache_misses");
+            double spt_rate =
+                spt_h + spt_m ? double(spt_h) / double(spt_h + spt_m)
+                              : 0.0;
+            double tav_rate =
+                tav_h + tav_m ? double(tav_h) / double(tav_h + tav_m)
+                              : 0.0;
+
+            table.row({config, cellU(commits), cellU(aborts),
+                       cell("%.1f%%", abort_rate * 100.0),
+                       cell("%.1f", tx_per_mcycle), cell("%.0f", p50),
+                       cell("%.0f", p95), cell("%.0f", p99),
+                       cell("%.1f%%", spt_rate * 100.0),
+                       cell("%.1f%%", tav_rate * 100.0),
+                       r.verified ? "yes" : "NO"});
+
+            rec.beginRow()
+                .field("app", "kv")
+                .field("system", tmKindName(prm.tmKind))
+                .field("config", config)
+                .field("threads", threads)
+                .field("zipf", zipf)
+                .field("cycles", std::uint64_t(r.cycles))
+                .field("commits", commits)
+                .field("aborts", aborts)
+                .field("aborts_conflict",
+                       s.counter("tx.aborts_conflict"))
+                .field("aborts_nontx", s.counter("tx.aborts_nontx"))
+                .field("aborts_multiwriter",
+                       s.counter("tx.aborts_multiwriter"))
+                .field("aborts_explicit",
+                       s.counter("tx.aborts_explicit"))
+                .field("tx_per_mcycle", tx_per_mcycle)
+                .field("tx_per_sec_1ghz", tx_per_sec)
+                .field("abort_rate", abort_rate)
+                .field("p50_commit_latency", p50)
+                .field("p95_commit_latency", p95)
+                .field("p99_commit_latency", p99)
+                .field("spt_cache_hits", spt_h)
+                .field("spt_cache_misses", spt_m)
+                .field("tav_cache_hits", tav_h)
+                .field("tav_cache_misses", tav_m)
+                .field("spt_hit_rate", spt_rate)
+                .field("tav_hit_rate", tav_rate)
+                .field("verified", r.verified);
+            addProfileFields(rec, r.profile);
+        }
+    }
+    table.print(hout);
+
+    if (!rec.writeJson(json_path)) {
+        std::fprintf(stderr, "bench_kv: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+
+    if (!trace.path.empty()) {
+        std::string err;
+        if (!writeTrace(trace.path, trace.format, captures, &err)) {
+            std::fprintf(stderr, "bench_kv: %s\n", err.c_str());
+            return 2;
+        }
+        inform("trace written to %s (%zu captures)",
+               trace.path.c_str(), captures.size());
+    }
+
+    std::fprintf(hout, "\nLatencies are end-to-end commit ticks "
+                       "(first begin to commit, retries included).\n");
+    std::fprintf(hout, "All results functionally verified: %s\n",
+                 all_ok ? "yes" : "NO");
+    return (all_ok && violations == 0) ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "harness/cli.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "sim/logging.hh"
@@ -358,6 +359,44 @@ addRobustnessOptions(OptionTable &opts, RobustnessParams &prm)
                     prm.contention.retryBudget = unsigned(n);
                     return true;
                 });
+}
+
+void
+addWorkloadOptions(OptionTable &opts, WorkloadOptList &dest)
+{
+    opts.option("wl-opt", "KEY=VALUE",
+                "per-workload option, repeatable "
+                "(see --list-workloads)",
+                [&dest](const std::string &v) {
+                    std::size_t eq = v.find('=');
+                    if (eq == std::string::npos || eq == 0)
+                        return false;
+                    dest.emplace_back(v.substr(0, eq),
+                                      v.substr(eq + 1));
+                    return true;
+                });
+    opts.exitFlag("list-workloads",
+                  "list the registered workloads and their options",
+                  [] { printWorkloadList(); });
+}
+
+void
+printWorkloadList()
+{
+    for (const WorkloadInfo *info :
+         WorkloadRegistry::instance().all()) {
+        std::printf("%s — %s\n", info->name.c_str(),
+                    info->description.c_str());
+        std::size_t width = 0;
+        for (const auto &o : info->options)
+            width = std::max(width,
+                             o.name.size() + 1 + o.defaultValue.size());
+        for (const auto &o : info->options) {
+            std::string kv = o.name + "=" + o.defaultValue;
+            std::printf("    %-*s  %s\n", int(width), kv.c_str(),
+                        o.help.c_str());
+        }
+    }
 }
 
 std::string

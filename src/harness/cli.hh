@@ -37,6 +37,7 @@
 #include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "workloads/workload.hh"
 
 namespace ptm
 {
@@ -173,6 +174,26 @@ struct RobustnessParams
  * surface is identical everywhere.
  */
 void addRobustnessOptions(OptionTable &opts, RobustnessParams &dest);
+
+/**
+ * Register the shared workload-plugin options storing into @p dest:
+ *
+ *  - `--wl-opt KEY=VALUE` (repeatable; later duplicates win) collects
+ *    raw per-workload options, validated against the selected
+ *    workload's option table at resolve time;
+ *  - `--list-workloads` prints every registered workload with its
+ *    option table and exits.
+ *
+ * Used by ptm_sim and the bench_* front ends so the workload-plugin
+ * surface is identical everywhere.
+ */
+void addWorkloadOptions(OptionTable &opts, WorkloadOptList &dest);
+
+/**
+ * Print every registered workload — name, description, and option
+ * table with defaults — to stdout (the --list-workloads body).
+ */
+void printWorkloadList();
 
 /**
  * The reproducer argument string for @p prm ("--seed N --chaos

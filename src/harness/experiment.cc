@@ -15,19 +15,31 @@ namespace ptm
 
 ExperimentResult
 runWorkload(const std::string &workload_name, SystemParams params,
-            int scale, unsigned threads)
+            int scale, unsigned threads, const WorkloadOptList &wl_opts)
 {
     WorkloadConfig wcfg;
     wcfg.threads = threads;
     wcfg.mode = syncModeFor(params.tmKind);
     wcfg.seed = params.seed;
-    wcfg.scale = scale;
     if (wcfg.mode == SyncMode::Serial)
         params.numCores = 1;
     if (params.maxTicks == 0)
         params.maxTicks = 20ull * 1000 * 1000 * 1000;
 
-    auto wl = makeWorkload(workload_name, wcfg);
+    // The legacy scale argument becomes the "scale" option (where the
+    // workload declares one); explicit --wl-opt pairs are appended
+    // after it so they win.
+    const WorkloadInfo *info =
+        WorkloadRegistry::instance().find(workload_name);
+    if (!info)
+        fatal("unknown workload '%s' (known: %s)",
+              workload_name.c_str(), workloadNameList().c_str());
+    WorkloadOptList given;
+    if (WorkloadRegistry::findOption(*info, "scale"))
+        given.emplace_back("scale", std::to_string(scale));
+    given.insert(given.end(), wl_opts.begin(), wl_opts.end());
+
+    auto wl = makeWorkload(workload_name, wcfg, given);
     System sys(params);
     wl->build(sys);
 
@@ -40,6 +52,7 @@ runWorkload(const std::string &workload_name, SystemParams params,
     r.host = sys.eq().hostProfile();
     r.auditViolations = sys.auditor().violations();
     r.auditChecks = sys.auditor().checksRun.value();
+    r.resolvedOptions = wl->config().options.items();
     if (sys.tracer().active())
         r.trace = captureTrace(sys.tracer(),
                                workload_name + "/" +

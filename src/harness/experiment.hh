@@ -53,16 +53,27 @@ struct ExperimentResult
     std::vector<AuditViolation> auditViolations;
     /** Full audit passes executed (params.audit.enabled). */
     std::uint64_t auditChecks = 0;
+    /**
+     * The run's fully resolved workload options (defaults filled in),
+     * in declaration order — what the manifest records.
+     */
+    WorkloadOptList resolvedOptions;
 };
 
 /**
  * Run @p workload_name on a system of kind @p params.tmKind (the
  * synchronization mode is derived from it: Serial -> 1 thread plain,
  * Locks -> spinlocks, TM kinds -> transactions).
+ *
+ * @p scale is injected as the workload's "scale" option when it
+ * declares one; @p wl_opts are further key=value options resolved
+ * against the workload's option table (fatal when unknown/invalid —
+ * front ends wanting a recoverable diagnostic use WorkloadRegistry).
  */
 ExperimentResult runWorkload(const std::string &workload_name,
                              SystemParams params, int scale = 1,
-                             unsigned threads = 4);
+                             unsigned threads = 4,
+                             const WorkloadOptList &wl_opts = {});
 
 /** Percent speedup of @p par over @p serial: (serial/par - 1) * 100. */
 double speedupPct(Tick serial, Tick par);

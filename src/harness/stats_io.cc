@@ -549,6 +549,11 @@ emitRunJson(std::ostream &os, const RunManifest &manifest,
     }
     w.member("threads", manifest.threads);
     w.member("scale", std::int64_t(manifest.scale));
+    w.key("workload_options");
+    w.beginObject();
+    for (const auto &[k, v] : manifest.workloadOptions)
+        w.member(k, v);
+    w.endObject();
     w.member("cycles", std::uint64_t(manifest.cycles));
     w.member("verified", manifest.verified);
     w.member("wall_seconds", manifest.wallSeconds);

@@ -19,6 +19,7 @@
  *     { "schema": "ptm-stats-v1",
  *       "manifest": { "tool": ..., "workload": ..., "system": ...,
  *                     "granularity": ..., "threads": N, "scale": N,
+ *                     "workload_options": { "<key>": "<value>", ... },
  *                     "seed": N, "cycles": N, "verified": bool,
  *                     "wall_seconds": x, "git": "...",
  *                     "params": { ... SystemParams ... } },
@@ -133,6 +134,12 @@ struct RunManifest
 {
     std::string tool;        //!< emitting binary ("ptm_sim", ...)
     std::string workload;
+    /**
+     * The run's resolved workload options (defaults filled in), in
+     * declaration order; emitted as the "workload_options" object.
+     * Same shape as WorkloadOptList.
+     */
+    std::vector<std::pair<std::string, std::string>> workloadOptions;
     unsigned threads = 0;
     int scale = 0;
     Tick cycles = 0;

@@ -78,6 +78,9 @@ System::System(const SystemParams &params)
     os_.attach(&mem_, backend_.get(), std::move(core_ptrs));
 
     txmgr_.setContention(params_.contention);
+    // Always wired (unlike the profiler): the commit-latency
+    // distribution must be populated in plain benchmark runs too.
+    txmgr_.setClock([this] { return eq_.curTick(); });
 
     if (params_.chaos.enabled) {
         chaos_.configure(params_.chaos);

@@ -72,7 +72,14 @@ struct Transaction
     /** Whether any block of this transaction overflowed the caches. */
     bool overflowed = false;
 
+    /** Start tick of the current attempt (reset by restart). */
     Tick beginTick = 0;
+    /**
+     * Start tick of the first attempt; survives restarts, so
+     * now - firstBeginTick at commit is the end-to-end commit latency
+     * including every aborted attempt and backoff.
+     */
+    Tick firstBeginTick = 0;
 
     /** True while the transaction can still win/lose conflicts. */
     bool

@@ -32,6 +32,9 @@ TxManager::regStats(StatRegistry &reg)
                  "starvation-watchdog trips (N consecutive aborts)");
     g.addCounter("starvation_grants", &starvationGrants,
                  "serialized starvation-token grants");
+    g.addDistribution("commit_latency", &commitLatency,
+                      "committed-transaction latency in ticks "
+                      "(first begin to logical commit)");
 }
 
 const char *
@@ -81,6 +84,7 @@ TxManager::begin(ThreadId thread, ProcId proc, Tick now, bool ordered,
     tx.scope = scope;
     tx.rank = rank;
     tx.beginTick = now;
+    tx.firstBeginTick = now;
     tx.attempts = 1;
     if (ordered) {
         panic_if(scope >= scopes_.size(), "unknown ordered scope %u",
@@ -179,6 +183,8 @@ TxManager::doLogicalCommit(Transaction &tx)
                     tx.id);
     prof_->charge(ProfCharge::CommittedTxTicks,
                   prof_->now() - tx.beginTick);
+    if (clock_)
+        commitLatency.sample(double(clock_() - tx.firstBeginTick));
 
     if (onLogicalCommit)
         onLogicalCommit(tx.id);

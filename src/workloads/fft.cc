@@ -24,8 +24,9 @@ class FftWorkload : public Workload
         // Default size makes one thread's half-phase footprint
         // (2 * n^2 / threads words) exceed the 256 KB L2, so fft
         // overflows like the paper's (Table 1: mop/evict 87).
-        n_ = cfg.scale == 0 ? 48 : 384;
-        rounds_ = cfg.scale == 0 ? 2 : 3;
+        bool tiny = cfg.options.u64("scale") == 0;
+        n_ = tiny ? 48 : 384;
+        rounds_ = tiny ? 2 : 3;
     }
 
     const char *name() const override { return "fft"; }
@@ -177,10 +178,17 @@ class FftWorkload : public Workload
     unsigned barrier_ = 0;
 };
 
-std::unique_ptr<Workload>
-makeFft(const WorkloadConfig &cfg)
+void
+registerFftWorkload()
 {
-    return std::make_unique<FftWorkload>(cfg);
+    static WorkloadRegistrar reg(
+        {"fft",
+         "1D FFT phases with all-to-all transposes (overflow-heavy)",
+         {scaleOption()},
+         [](const WorkloadConfig &cfg) -> std::unique_ptr<Workload> {
+             return std::make_unique<FftWorkload>(cfg);
+         },
+         /*order=*/0, /*paperKernel=*/true});
 }
 
 } // namespace ptm

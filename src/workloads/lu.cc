@@ -22,7 +22,7 @@ class LuWorkload : public Workload
         bsize_ = 16;
         // Benchmark size 256x256 (256 KB): the matrix exceeds one L2,
         // so lu streams and evicts like the paper's (mop/evict 95.3).
-        nblocks_ = cfg.scale == 0 ? 4 : 16;
+        nblocks_ = cfg.options.u64("scale") == 0 ? 4 : 16;
         n_ = bsize_ * nblocks_;
     }
 
@@ -245,10 +245,17 @@ class LuWorkload : public Workload
     unsigned barrier_ = 0;
 };
 
-std::unique_ptr<Workload>
-makeLu(const WorkloadConfig &cfg)
+void
+registerLuWorkload()
 {
-    return std::make_unique<LuWorkload>(cfg);
+    static WorkloadRegistrar reg(
+        {"lu",
+         "blocked dense LU factorization (streaming matrix updates)",
+         {scaleOption()},
+         [](const WorkloadConfig &cfg) -> std::unique_ptr<Workload> {
+             return std::make_unique<LuWorkload>(cfg);
+         },
+         /*order=*/1, /*paperKernel=*/true});
 }
 
 } // namespace ptm

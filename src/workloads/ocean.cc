@@ -22,7 +22,7 @@ class OceanWorkload : public Workload
   public:
     explicit OceanWorkload(const WorkloadConfig &cfg) : Workload(cfg)
     {
-        if (cfg.scale == 0) {
+        if (cfg.options.u64("scale") == 0) {
             rows_ = 48;
             cols_ = 64;
             iters_ = 2;
@@ -211,10 +211,17 @@ class OceanWorkload : public Workload
     unsigned barrier_ = 0;
 };
 
-std::unique_ptr<Workload>
-makeOcean(const WorkloadConfig &cfg)
+void
+registerOceanWorkload()
 {
-    return std::make_unique<OceanWorkload>(cfg);
+    static WorkloadRegistrar reg(
+        {"ocean",
+         "red-black grid relaxation (the suite's largest footprint)",
+         {scaleOption()},
+         [](const WorkloadConfig &cfg) -> std::unique_ptr<Workload> {
+             return std::make_unique<OceanWorkload>(cfg);
+         },
+         /*order=*/3, /*paperKernel=*/true});
 }
 
 } // namespace ptm

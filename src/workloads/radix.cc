@@ -28,7 +28,7 @@ class RadixWorkload : public Workload
     {
         // Two key arrays of 256 KB each at benchmark size: radix
         // streams through the caches (Table 1: mop/evict 246).
-        nkeys_ = cfg.scale == 0 ? 2048 : 65536;
+        nkeys_ = cfg.options.u64("scale") == 0 ? 2048 : 65536;
         digit_bits_ = 8;
         passes_ = 3;
         radix_ = 1u << digit_bits_;
@@ -211,10 +211,17 @@ class RadixWorkload : public Workload
     unsigned barrier_ = 0;
 };
 
-std::unique_ptr<Workload>
-makeRadix(const WorkloadConfig &cfg)
+void
+registerRadixWorkload()
 {
-    return std::make_unique<RadixWorkload>(cfg);
+    static WorkloadRegistrar reg(
+        {"radix",
+         "LSD radix sort (permute writes share blocks: false conflicts)",
+         {scaleOption()},
+         [](const WorkloadConfig &cfg) -> std::unique_ptr<Workload> {
+             return std::make_unique<RadixWorkload>(cfg);
+         },
+         /*order=*/2, /*paperKernel=*/true});
 }
 
 } // namespace ptm

@@ -27,9 +27,10 @@ class WaterWorkload : public Workload
         // read-only parameter tables) ~ 350 KB: mostly cache-resident
         // with occasional streaming evictions in the integrate phase,
         // like the paper's water (Table 1: mop/evict 4926).
-        nmol_ = cfg.scale == 0 ? 256 : 8192;
+        bool tiny = cfg.options.u64("scale") == 0;
+        nmol_ = tiny ? 256 : 8192;
         cutoff_ = 12;
-        timesteps_ = cfg.scale == 0 ? 2 : 3;
+        timesteps_ = tiny ? 2 : 3;
         chunks_ = 2;
     }
 
@@ -221,10 +222,17 @@ class WaterWorkload : public Workload
     unsigned barrier_ = 0;
 };
 
-std::unique_ptr<Workload>
-makeWater(const WorkloadConfig &cfg)
+void
+registerWaterWorkload()
 {
-    return std::make_unique<WaterWorkload>(cfg);
+    static WorkloadRegistrar reg(
+        {"water",
+         "molecular-dynamics force/integrate steps (cache-resident)",
+         {scaleOption()},
+         [](const WorkloadConfig &cfg) -> std::unique_ptr<Workload> {
+             return std::make_unique<WaterWorkload>(cfg);
+         },
+         /*order=*/4, /*paperKernel=*/true});
 }
 
 } // namespace ptm

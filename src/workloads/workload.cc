@@ -1,20 +1,85 @@
 /**
  * @file
- * Workload registry.
+ * Workload registry implementation: entry storage, option
+ * resolution/validation, and the builtin-anchoring hooks.
  */
 
 #include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 
 namespace ptm
 {
 
-std::unique_ptr<Workload> makeFft(const WorkloadConfig &cfg);
-std::unique_ptr<Workload> makeLu(const WorkloadConfig &cfg);
-std::unique_ptr<Workload> makeRadix(const WorkloadConfig &cfg);
-std::unique_ptr<Workload> makeOcean(const WorkloadConfig &cfg);
-std::unique_ptr<Workload> makeWater(const WorkloadConfig &cfg);
+// Builtin register functions, one per kernel translation unit. The
+// kernels live in a static library: without these calls nothing
+// references their object files and the linker silently drops them,
+// registrar statics and all. Each function is idempotent.
+void registerFftWorkload();
+void registerLuWorkload();
+void registerRadixWorkload();
+void registerOceanWorkload();
+void registerWaterWorkload();
+void registerKvWorkload();
+
+/** The registry object without the builtin-registration side effect
+ *  (the registrars run *inside* instance()'s first call). */
+WorkloadRegistry &
+workloadRegistryRaw()
+{
+    static WorkloadRegistry reg;
+    return reg;
+}
+
+namespace
+{
+
+void
+registerBuiltinWorkloads()
+{
+    registerFftWorkload();
+    registerLuWorkload();
+    registerRadixWorkload();
+    registerOceanWorkload();
+    registerWaterWorkload();
+    registerKvWorkload();
+}
+
+const char *
+optionKindName(WorkloadOption::Kind k)
+{
+    switch (k) {
+      case WorkloadOption::Kind::U64:
+        return "unsigned integer";
+      case WorkloadOption::Kind::Real:
+        return "real number";
+    }
+    return "?";
+}
+
+bool
+validValue(const WorkloadOption &opt, const std::string &v)
+{
+    if (v.empty())
+        return false;
+    errno = 0;
+    const char *begin = v.c_str();
+    char *end = nullptr;
+    if (opt.kind == WorkloadOption::Kind::U64) {
+        if (v[0] == '-')
+            return false;
+        (void)std::strtoull(begin, &end, 0);
+    } else {
+        (void)std::strtod(begin, &end);
+    }
+    return errno == 0 && end && *end == '\0';
+}
+
+} // namespace
 
 // GCC 12's -Wmaybe-uninitialized fires spuriously on the std::function
 // inside the Step variant whenever vector growth relocates elements
@@ -43,28 +108,202 @@ syncModeFor(TmKind kind)
     }
 }
 
-std::unique_ptr<Workload>
-makeWorkload(std::string_view name, const WorkloadConfig &cfg)
+bool
+WorkloadOptions::has(const std::string &name) const
 {
-    if (name == "fft")
-        return makeFft(cfg);
-    if (name == "lu")
-        return makeLu(cfg);
-    if (name == "radix")
-        return makeRadix(cfg);
-    if (name == "ocean")
-        return makeOcean(cfg);
-    if (name == "water")
-        return makeWater(cfg);
-    fatal("unknown workload '%.*s'", int(name.size()), name.data());
+    return index_.count(name) != 0;
 }
 
-const std::vector<std::string> &
+bool
+WorkloadOptions::explicitlySet(const std::string &name) const
+{
+    return explicit_.count(name) != 0;
+}
+
+const std::string &
+WorkloadOptions::str(const std::string &name) const
+{
+    auto it = index_.find(name);
+    panic_if(it == index_.end(), "workload option '%s' was not resolved",
+             name.c_str());
+    return items_[it->second].second;
+}
+
+std::uint64_t
+WorkloadOptions::u64(const std::string &name) const
+{
+    const std::string &v = str(name);
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t out = std::strtoull(v.c_str(), &end, 0);
+    panic_if(errno != 0 || !end || *end != '\0',
+             "workload option '%s=%s' is not an unsigned integer",
+             name.c_str(), v.c_str());
+    return out;
+}
+
+double
+WorkloadOptions::real(const std::string &name) const
+{
+    const std::string &v = str(name);
+    errno = 0;
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    panic_if(errno != 0 || !end || *end != '\0',
+             "workload option '%s=%s' is not a number", name.c_str(),
+             v.c_str());
+    return out;
+}
+
+void
+WorkloadOptions::set(const std::string &name, const std::string &value,
+                     bool is_explicit)
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        index_[name] = items_.size();
+        items_.emplace_back(name, value);
+    } else {
+        items_[it->second].second = value;
+    }
+    if (is_explicit)
+        explicit_.insert(name);
+}
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    WorkloadRegistry &reg = workloadRegistryRaw();
+    static bool builtins_done = (registerBuiltinWorkloads(), true);
+    (void)builtins_done;
+    return reg;
+}
+
+void
+WorkloadRegistry::add(WorkloadInfo info)
+{
+    panic_if(info.name.empty(), "registering a nameless workload");
+    panic_if(!info.factory, "workload '%s' registered without a factory",
+             info.name.c_str());
+    panic_if(index_.count(info.name),
+             "duplicate workload registration '%s'", info.name.c_str());
+    for (const auto &opt : info.options)
+        panic_if(!validValue(opt, opt.defaultValue),
+                 "workload '%s' option '%s' has invalid default '%s'",
+                 info.name.c_str(), opt.name.c_str(),
+                 opt.defaultValue.c_str());
+    index_[info.name] = entries_.size();
+    entries_.push_back(std::move(info));
+}
+
+const WorkloadInfo *
+WorkloadRegistry::find(std::string_view name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+std::vector<const WorkloadInfo *>
+WorkloadRegistry::all() const
+{
+    std::vector<const WorkloadInfo *> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(&e);
+    std::sort(out.begin(), out.end(),
+              [](const WorkloadInfo *a, const WorkloadInfo *b) {
+                  return a->order != b->order ? a->order < b->order
+                                              : a->name < b->name;
+              });
+    return out;
+}
+
+const WorkloadOption *
+WorkloadRegistry::findOption(const WorkloadInfo &info,
+                             std::string_view name)
+{
+    for (const auto &opt : info.options)
+        if (opt.name == name)
+            return &opt;
+    return nullptr;
+}
+
+bool
+WorkloadRegistry::resolve(const WorkloadInfo &info,
+                          const WorkloadOptList &given,
+                          WorkloadOptions &out, std::string *err) const
+{
+    out = WorkloadOptions();
+    for (const auto &opt : info.options)
+        out.set(opt.name, opt.defaultValue, false);
+    for (const auto &[name, value] : given) {
+        const WorkloadOption *opt = findOption(info, name);
+        if (!opt) {
+            if (err) {
+                *err = "workload '" + info.name + "' has no option '" +
+                       name + "'";
+                if (info.options.empty()) {
+                    *err += " (it takes none)";
+                } else {
+                    *err += "; known options:";
+                    for (const auto &o : info.options)
+                        *err += " " + o.name;
+                }
+            }
+            return false;
+        }
+        if (!validValue(*opt, value)) {
+            if (err)
+                *err = "workload option '" + name + "=" + value +
+                       "' is not a valid " +
+                       optionKindName(opt->kind);
+            return false;
+        }
+        out.set(name, value, true);
+    }
+    return true;
+}
+
+WorkloadRegistrar::WorkloadRegistrar(WorkloadInfo info)
+{
+    workloadRegistryRaw().add(std::move(info));
+}
+
+std::unique_ptr<Workload>
+makeWorkload(std::string_view name, WorkloadConfig cfg,
+             const WorkloadOptList &given)
+{
+    const WorkloadInfo *info = WorkloadRegistry::instance().find(name);
+    if (!info)
+        fatal("unknown workload '%.*s' (known: %s)", int(name.size()),
+              name.data(), workloadNameList().c_str());
+    std::string err;
+    if (!WorkloadRegistry::instance().resolve(*info, given, cfg.options,
+                                              &err))
+        fatal("%s", err.c_str());
+    return info->factory(cfg);
+}
+
+std::vector<std::string>
 workloadNames()
 {
-    static const std::vector<std::string> names{"fft", "lu", "radix",
-                                                "ocean", "water"};
+    std::vector<std::string> names;
+    for (const WorkloadInfo *info : WorkloadRegistry::instance().all())
+        if (info->paperKernel)
+            names.push_back(info->name);
     return names;
+}
+
+std::string
+workloadNameList()
+{
+    std::string out;
+    for (const WorkloadInfo *info : WorkloadRegistry::instance().all()) {
+        if (!out.empty())
+            out += " | ";
+        out += info->name;
+    }
+    return out;
 }
 
 } // namespace ptm

@@ -1,8 +1,11 @@
 /**
  * @file
- * Workload kernels for the evaluation — C++ re-creations of the five
- * SPLASH-2 loop-region benchmarks of the paper (fft, lu, radix, ocean,
- * water), each buildable in three synchronization modes:
+ * Workload kernels and the workload plugin registry.
+ *
+ * The evaluation suite holds C++ re-creations of the five SPLASH-2
+ * loop-region benchmarks of the paper (fft, lu, radix, ocean, water)
+ * plus serving-style kernels (kv), each buildable in three
+ * synchronization modes:
  *
  *  - Serial: one thread, no synchronization (the speedup baseline);
  *  - Locks:  the original-style pthread synchronization (barriers and
@@ -15,14 +18,28 @@
  * compares the simulated memory. Footprints are scaled-down versions
  * of the paper's (Table 1) preserving the relative ordering:
  * ocean >> lu >= fft > radix > water, with water cache-resident.
+ *
+ * Workloads are constructed through WorkloadRegistry: each entry
+ * carries a factory, a one-line description, and a table of validated
+ * key=value options (surfaced as `--wl-opt key=value` and
+ * `--list-workloads` in the front ends). Adding a workload means
+ * implementing the kernel, registering a WorkloadInfo for it, and —
+ * for kernels living in libptm — listing its register function in
+ * registerBuiltinWorkloads() so the archive member is not dropped by
+ * the linker (a pure static-registrar object in an otherwise
+ * unreferenced static-library member never runs).
  */
 
 #ifndef PTM_WORKLOADS_WORKLOAD_HH
 #define PTM_WORKLOADS_WORKLOAD_HH
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "harness/system.hh"
@@ -41,20 +58,151 @@ enum class SyncMode
 /** Mode implied by a system kind (locks for Locks, tx for TM kinds). */
 SyncMode syncModeFor(TmKind kind);
 
+/** One key=value option a workload accepts, with validation kind. */
+struct WorkloadOption
+{
+    enum class Kind
+    {
+        U64,  //!< unsigned integer value
+        Real, //!< floating-point value
+    };
+
+    std::string name;
+    Kind kind = Kind::U64;
+    /** Default value (string form, validated at registration use). */
+    std::string defaultValue;
+    std::string help;
+};
+
+/** The "scale" option every Table 1 kernel accepts. */
+inline WorkloadOption
+scaleOption()
+{
+    return {"scale", WorkloadOption::Kind::U64, "1",
+            "0 = tiny test size, 1 = benchmark size"};
+}
+
+/** Raw (name, value) pairs as collected from the command line. */
+using WorkloadOptList = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Resolved per-workload options: every declared option is present
+ * (defaults filled in), values are pre-validated against the declared
+ * kind, and declaration order is preserved for reproducible manifest
+ * output. Produced by WorkloadRegistry::resolve().
+ */
+class WorkloadOptions
+{
+  public:
+    bool has(const std::string &name) const;
+
+    /** True if the value came from the user, not the default. */
+    bool explicitlySet(const std::string &name) const;
+
+    /** @name Typed getters (panic on an undeclared name / bad value) */
+    /// @{
+    std::uint64_t u64(const std::string &name) const;
+    double real(const std::string &name) const;
+    const std::string &str(const std::string &name) const;
+    /// @}
+
+    /** All options in declaration order (manifest emission). */
+    const WorkloadOptList &items() const { return items_; }
+
+    /** Insert or overwrite @p name (resolve() plumbing). */
+    void set(const std::string &name, const std::string &value,
+             bool is_explicit);
+
+  private:
+    WorkloadOptList items_;
+    std::map<std::string, std::size_t> index_;
+    std::set<std::string> explicit_;
+};
+
 /** Workload construction parameters. */
 struct WorkloadConfig
 {
     unsigned threads = 4;
     SyncMode mode = SyncMode::Tx;
     std::uint64_t seed = 1;
-    /**
-     * Footprint scale: 1 = default (benchmark) size, 0 selects the
-     * tiny test size.
-     */
-    int scale = 1;
+    /** Resolved options (see WorkloadRegistry::resolve). */
+    WorkloadOptions options;
 };
 
-/** Base class of the five kernels. */
+class Workload;
+
+/** One registry entry: identity, documentation, options, factory. */
+struct WorkloadInfo
+{
+    std::string name;
+    /** One-line description for --list-workloads. */
+    std::string description;
+    /** The key=value options this workload accepts. */
+    std::vector<WorkloadOption> options;
+    std::function<std::unique_ptr<Workload>(const WorkloadConfig &)>
+        factory;
+    /** Stable enumeration order (independent of link order). */
+    int order = 100;
+    /** Member of the paper's Table 1 suite (bench enumeration). */
+    bool paperKernel = false;
+};
+
+/**
+ * The process-wide workload registry. Entries self-register through
+ * WorkloadRegistrar; the libptm builtins are additionally anchored by
+ * registerBuiltinWorkloads() so static linking cannot drop them.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** The registry, with the builtin workloads registered. */
+    static WorkloadRegistry &instance();
+
+    /** Register @p info (panics on a duplicate name). */
+    void add(WorkloadInfo info);
+
+    /** Find an entry by name; nullptr if unknown. */
+    const WorkloadInfo *find(std::string_view name) const;
+
+    /** Every entry, sorted by (order, name). */
+    std::vector<const WorkloadInfo *> all() const;
+
+    /** The declared option @p name of @p info; nullptr if absent. */
+    static const WorkloadOption *findOption(const WorkloadInfo &info,
+                                            std::string_view name);
+
+    /**
+     * Validate @p given against @p info's option table and produce the
+     * resolved options (defaults filled, user values marked explicit;
+     * later duplicates win).
+     *
+     * @return true on success; false with a diagnostic in @p err
+     *         (unknown option names list the declared options, bad
+     *         values name the expected kind).
+     */
+    bool resolve(const WorkloadInfo &info, const WorkloadOptList &given,
+                 WorkloadOptions &out, std::string *err) const;
+
+  private:
+    friend struct WorkloadRegistrar;
+    friend WorkloadRegistry &workloadRegistryRaw();
+
+    std::vector<WorkloadInfo> entries_;
+    std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/**
+ * Self-registration handle: a static WorkloadRegistrar at namespace or
+ * function scope adds its entry exactly once. Usable directly by
+ * out-of-tree workloads (tests); libptm kernels wrap theirs in a
+ * registerXxxWorkload() function listed in registerBuiltinWorkloads().
+ */
+struct WorkloadRegistrar
+{
+    explicit WorkloadRegistrar(WorkloadInfo info);
+};
+
+/** Base class of the workload kernels. */
 class Workload
 {
   public:
@@ -133,14 +281,20 @@ mixHash(std::uint64_t x)
 }
 
 /**
- * Instantiate a kernel by name ("fft", "lu", "radix", "ocean",
- * "water"); fatal on unknown names.
+ * Instantiate a registered workload by name, resolving @p given
+ * against its option table into @p cfg.options first; fatal on
+ * unknown names or invalid options (front ends wanting a recoverable
+ * diagnostic resolve through WorkloadRegistry themselves).
  */
 std::unique_ptr<Workload> makeWorkload(std::string_view name,
-                                       const WorkloadConfig &cfg);
+                                       WorkloadConfig cfg,
+                                       const WorkloadOptList &given = {});
 
-/** The five kernel names in the paper's Table 1 order. */
-const std::vector<std::string> &workloadNames();
+/** The Table 1 kernel names in the paper's order (registry-backed). */
+std::vector<std::string> workloadNames();
+
+/** Every registered workload name, " | "-separated (help strings). */
+std::string workloadNameList();
 
 } // namespace ptm
 

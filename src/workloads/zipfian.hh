@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Zipfian rank sampler for the serving workloads.
+ *
+ * Implements the constant-time bounded-Zipfian sampler of Gray et al.
+ * ("Quickly generating billion-record synthetic databases", SIGMOD'94),
+ * the same formulation YCSB popularized: ranks r in [0, n) are drawn
+ * with probability proportional to 1 / (r+1)^theta. theta = 0
+ * degenerates to the uniform distribution; theta -> 1 approaches the
+ * classic Zipf law (theta must stay below 1 for the closed form).
+ *
+ * Construction is O(n) (the generalized harmonic number is summed
+ * once); sampling is O(1) and consumes exactly one Pcg32 draw, so
+ * streams are bit-exactly reproducible from the generator seed.
+ */
+
+#ifndef PTM_WORKLOADS_ZIPFIAN_HH
+#define PTM_WORKLOADS_ZIPFIAN_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace ptm
+{
+
+class Zipfian
+{
+  public:
+    /**
+     * @param n      number of ranks (> 0)
+     * @param theta  skew in [0, 1): 0 = uniform, 0.99 = heavy skew
+     */
+    Zipfian(std::uint64_t n, double theta) : n_(n), theta_(theta)
+    {
+        panic_if(n == 0, "Zipfian over an empty rank set");
+        panic_if(theta < 0.0 || theta >= 1.0,
+                 "Zipfian skew %f outside [0, 1)", theta);
+        if (theta_ == 0.0)
+            return;
+        double zetan = 0.0;
+        for (std::uint64_t i = 1; i <= n_; ++i)
+            zetan += 1.0 / std::pow(double(i), theta_);
+        zetan_ = zetan;
+        double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+        half_pow_ = 1.0 + std::pow(0.5, theta_);
+    }
+
+    /** Draw one rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t
+    sample(Pcg32 &rng) const
+    {
+        if (theta_ == 0.0)
+            return rng.below(std::uint32_t(n_));
+        double u = rng.uniform();
+        double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < half_pow_)
+            return 1;
+        auto r = std::uint64_t(double(n_) *
+                               std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return r >= n_ ? n_ - 1 : r;
+    }
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_ = 0.0;
+    double alpha_ = 0.0;
+    double eta_ = 0.0;
+    double half_pow_ = 0.0;
+};
+
+} // namespace ptm
+
+#endif // PTM_WORKLOADS_ZIPFIAN_HH

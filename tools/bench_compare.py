@@ -36,6 +36,9 @@ THRESHOLDS = {
     "prof_stall_xlat": 0.05,
     "prof_fault_swap": 0.05,
     "aborts": 0.10,
+    # Serving-workload tail latency (bench_kv): p99 is sensitive to
+    # abort-path changes, so give it a wider but still binding budget.
+    "p99_commit_latency": 0.15,
 }
 
 
@@ -164,7 +167,23 @@ def self_test():
     if not any("verifies" in r for r in regs):
         failures.append("verified=false not detected")
 
-    # 6. A vanished row must be a regression.
+    # 6. A p99 commit-latency blowup (bench_kv rows) must be detected,
+    # but only beyond its 15% budget.
+    lat = copy.deepcopy(base)
+    lat["benches"]["bench_table1"][0]["p99_commit_latency"] = 10000.0
+    tail = copy.deepcopy(lat)
+    tail["benches"]["bench_table1"][0]["p99_commit_latency"] = 12000.0
+    regs, _ = compare(lat, tail, 0.10)
+    if not any("p99_commit_latency" in r for r in regs):
+        failures.append("+20% p99 commit latency not detected")
+    near_tail = copy.deepcopy(lat)
+    near_tail["benches"]["bench_table1"][0]["p99_commit_latency"] = \
+        11000.0
+    regs, _ = compare(lat, near_tail, 0.50)
+    if regs:
+        failures.append(f"+10% p99 inside budget flagged: {regs}")
+
+    # 7. A vanished row must be a regression.
     gone = copy.deepcopy(base)
     gone["benches"]["bench_table1"].pop(0)
     regs, _ = compare(base, gone, 0.10)

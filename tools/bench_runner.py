@@ -40,6 +40,7 @@ BENCHES = [
     "bench_table1",
     "bench_fig4",
     "bench_fig5",
+    "bench_kv",
     "bench_ablation_caches",
     "bench_ablation_commit_abort",
     "bench_ablation_ctxsw",

@@ -24,6 +24,7 @@ MANIFEST_FIELDS = {
     "seed": (int, float),
     "threads": (int, float),
     "scale": (int, float),
+    "workload_options": dict,
     "cycles": (int, float),
     "verified": bool,
     "wall_seconds": (int, float),
@@ -138,6 +139,42 @@ def check_run(ptm_sim, system):
     return errors
 
 
+def check_workload_options(ptm_sim):
+    """The manifest must echo the resolved per-workload options.
+
+    User-given --wl-opt values must round-trip verbatim and options
+    left at their declared default must still appear (the manifest
+    records the *resolved* table, not just the overrides).
+    """
+    cmd = [
+        ptm_sim, "--workload", "kv", "--system", "sel-ptm",
+        "--scale", "0", "--threads", "2",
+        "--wl-opt", "zipf=0.5", "--wl-opt", "tx-ops=4",
+        "--stats-json", "-",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"wl-opt: ptm_sim exited {proc.returncode}: "
+                f"{proc.stderr.strip()}"]
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        return [f"wl-opt: invalid JSON: {e}"]
+    errors = []
+    wopts = doc.get("manifest", {}).get("workload_options")
+    if not isinstance(wopts, dict):
+        return ["wl-opt: manifest.workload_options missing"]
+    for key, want in (("zipf", "0.5"), ("tx-ops", "4")):
+        if wopts.get(key) != want:
+            errors.append(
+                f"wl-opt: option {key!r} did not round-trip: "
+                f"{wopts.get(key)!r} != {want!r}")
+    for key in ("keys", "ops", "scan-len"):
+        if key not in wopts:
+            errors.append(f"wl-opt: default option {key!r} not recorded")
+    return errors
+
+
 def check_profile(ptm_sim):
     """Validate the optional "profile" section under --profile.
 
@@ -245,6 +282,9 @@ def main():
         failures.extend(errs)
     errs = check_profile(ptm_sim)
     print(f"{'profile':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
+    failures.extend(errs)
+    errs = check_workload_options(ptm_sim)
+    print(f"{'wl-opt':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
     failures.extend(errs)
     for e in failures:
         print(f"error: {e}", file=sys.stderr)

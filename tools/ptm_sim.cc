@@ -9,7 +9,8 @@
  *     ptm_sim --workload radix --system sel-ptm --gran wd:cache+mem
  *     ptm_sim --workload fft --system vtm --seed 7 --scale 0
  *     ptm_sim --workload fft --system vc-vtm --stats-json out.json
- *     ptm_sim --list
+ *     ptm_sim --workload kv --wl-opt zipf=0.9 --wl-opt tx-ops=16
+ *     ptm_sim --list-workloads
  *
  * With `--stats-json FILE` the full statistics registry plus a run
  * manifest is written as ptm-stats-v1 JSON; FILE may be `-` for
@@ -43,8 +44,7 @@ main(int argc, char **argv)
     OptionTable opts("ptm_sim",
                      "Run one workload kernel on one simulated system "
                      "and report its statistics.");
-    opts.optionString("workload", "NAME", "fft | lu | radix | ocean | water",
-                      workload);
+    opts.optionString("workload", "NAME", workloadNameList(), workload);
     opts.option("system", "KIND",
                 "serial | locks | copy-ptm | sel-ptm | vtm | vc-vtm "
                 "(default sel-ptm)",
@@ -78,6 +78,8 @@ main(int argc, char **argv)
     opts.optionString("stats-json", "FILE",
                       "write ptm-stats-v1 JSON to FILE (- = stdout)",
                       json_path);
+    WorkloadOptList wl_opts;
+    addWorkloadOptions(opts, wl_opts);
     addTraceOptions(opts, prm.trace);
     addProfileOptions(opts, prm.profile);
     RobustnessParams robust;
@@ -86,9 +88,10 @@ main(int argc, char **argv)
     opts.flag("list-stats",
               "list every statistic of the configured system and exit",
               [&] { list_stats = true; });
-    opts.exitFlag("list", "list workloads and exit", [&] {
-        for (const auto &w : workloadNames())
-            std::printf("%s\n", w.c_str());
+    opts.exitFlag("list", "list workload names and exit", [&] {
+        for (const WorkloadInfo *info :
+             WorkloadRegistry::instance().all())
+            std::printf("%s\n", info->name.c_str());
     });
 
     switch (opts.parse(argc, argv)) {
@@ -120,7 +123,8 @@ main(int argc, char **argv)
         setInformToStderr(true);
 
     auto t0 = std::chrono::steady_clock::now();
-    ExperimentResult r = runWorkload(workload, prm, scale, threads);
+    ExperimentResult r =
+        runWorkload(workload, prm, scale, threads, wl_opts);
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -215,6 +219,7 @@ main(int argc, char **argv)
         RunManifest m;
         m.tool = "ptm_sim";
         m.workload = workload;
+        m.workloadOptions = r.resolvedOptions;
         m.threads = threads;
         m.scale = scale;
         m.cycles = r.cycles;
