@@ -41,6 +41,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    ObservabilityParams obs;
+    addObservabilityOptions(opts, obs);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -92,6 +94,7 @@ main(int argc, char **argv)
             prm.trace = trace;
             prm.profile = profile;
             robust.applyTo(prm);
+            obs.applyTo(prm);
             ExperimentResult r = runWorkload(app, prm, scale, 4);
             violations += reportAuditViolations("bench_ablation_caches",
                                                 app, prm, r);

@@ -58,13 +58,14 @@ struct Result
 Result
 run(TmKind kind, unsigned abort_every, const TraceParams &trace,
     const ProfileParams &profile, const RobustnessParams &robust,
-    int scale)
+    const ObservabilityParams &obs, int scale)
 {
     SystemParams p;
     p.tmKind = kind;
     p.trace = trace;
     p.profile = profile;
     robust.applyTo(p);
+    obs.applyTo(p);
     p.l1Bytes = 1024;
     p.l2Bytes = 8 * 1024; // 128 lines: transactions overflow
     p.l2Assoc = 2;
@@ -175,6 +176,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    ObservabilityParams obs;
+    addObservabilityOptions(opts, obs);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -212,7 +215,7 @@ main(int argc, char **argv)
     std::size_t violations = 0;
     for (unsigned every : {0u, 4u, 2u}) {
         for (TmKind k : kinds) {
-            Result r = run(k, every, trace, profile, robust, scale);
+            Result r = run(k, every, trace, profile, robust, obs, scale);
             violations += r.auditViolations;
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));

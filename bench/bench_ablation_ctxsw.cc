@@ -42,6 +42,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    ObservabilityParams obs;
+    addObservabilityOptions(opts, obs);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -83,6 +85,7 @@ main(int argc, char **argv)
             prm.trace = trace;
             prm.profile = profile;
             robust.applyTo(prm);
+            obs.applyTo(prm);
             ExperimentResult r = runWorkload(app, prm, scale, 8);
             violations += reportAuditViolations("bench_ablation_ctxsw",
                                                 app, prm, r);

@@ -56,7 +56,7 @@ struct Result
 Result
 run(ShadowFreePolicy policy, const TraceParams &trace,
     const ProfileParams &profile, const RobustnessParams &robust,
-    int scale)
+    const ObservabilityParams &obs, int scale)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
@@ -64,6 +64,7 @@ run(ShadowFreePolicy policy, const TraceParams &trace,
     p.trace = trace;
     p.profile = profile;
     robust.applyTo(p);
+    obs.applyTo(p);
     p.swapEnabled = true;
     // Pressure: homes + shadows exceed the frame count at either size.
     p.physFrames = scale ? 360 : 90;
@@ -163,6 +164,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    ObservabilityParams obs;
+    addObservabilityOptions(opts, obs);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -197,7 +200,7 @@ main(int argc, char **argv)
     std::size_t violations = 0;
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
-        Result r = run(pol, trace, profile, robust, scale);
+        Result r = run(pol, trace, profile, robust, obs, scale);
         violations += r.auditViolations;
         if (!trace.path.empty())
             captures.push_back(std::move(r.trace));

@@ -50,6 +50,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    ObservabilityParams obs;
+    addObservabilityOptions(opts, obs);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -98,6 +100,7 @@ main(int argc, char **argv)
             prm.trace = trace;
             prm.profile = profile;
             robust.applyTo(prm);
+            obs.applyTo(prm);
             ExperimentResult r = runWorkload(name, prm, scale, 4);
             violations +=
                 reportAuditViolations("bench_fig4", name, prm, r);

@@ -54,6 +54,22 @@ OptionTable::option(const std::string &name, const std::string &metavar,
     opts_.push_back(std::move(o));
 }
 
+void
+OptionTable::flagOrValue(const std::string &name,
+                         const std::string &metavar,
+                         const std::string &help,
+                         std::function<void()> onFlag,
+                         std::function<bool(const std::string &)> onValue)
+{
+    Opt o;
+    o.name = name;
+    o.metavar = metavar;
+    o.help = help;
+    o.onFlag = std::move(onFlag);
+    o.onValue = std::move(onValue);
+    opts_.push_back(std::move(o));
+}
+
 namespace
 {
 
@@ -171,19 +187,21 @@ OptionTable::printHelp() const
         std::printf("%s\n", summary_.c_str());
     std::printf("\noptions:\n");
     std::size_t width = 0;
+    auto render = [](const Opt &o) {
+        std::string left = "--" + o.name;
+        if (!o.metavar.empty())
+            left += (o.onFlag && o.onValue) ? "[=" + o.metavar + "]"
+                                            : " " + o.metavar;
+        return left;
+    };
     for (const auto &o : opts_) {
-        std::size_t w = 2 + o.name.size() +
-                        (o.metavar.empty() ? 0 : 1 + o.metavar.size());
+        std::size_t w = render(o).size();
         if (w > width)
             width = w;
     }
-    for (const auto &o : opts_) {
-        std::string left = "--" + o.name;
-        if (!o.metavar.empty())
-            left += " " + o.metavar;
-        std::printf("  %-*s  %s\n", int(width), left.c_str(),
+    for (const auto &o : opts_)
+        std::printf("  %-*s  %s\n", int(width), render(o).c_str(),
                     o.help.c_str());
-    }
     std::printf("  %-*s  %s\n", int(width), "--help",
                 "show this help and exit");
 }
@@ -362,6 +380,67 @@ addRobustnessOptions(OptionTable &opts, RobustnessParams &prm)
 }
 
 void
+addObservabilityOptions(OptionTable &opts, ObservabilityParams &prm)
+{
+    opts.flagOrValue(
+        "live-stats", "TICKS",
+        "stream ptm-timeseries-v1 interval records to stderr while "
+        "the run is in flight, optionally setting the sampling period "
+        "(default 100000 ticks); implies --heatmap",
+        [&prm] {
+            if (prm.timeseries.path.empty())
+                prm.timeseries.path = "stderr";
+            prm.heatmap.enabled = true;
+        },
+        [&prm](const std::string &v) {
+            std::uint64_t n;
+            if (!parseU64(v, n) || n == 0)
+                return false;
+            if (prm.timeseries.path.empty())
+                prm.timeseries.path = "stderr";
+            prm.timeseries.interval = Tick(n);
+            prm.heatmap.enabled = true;
+            return true;
+        });
+    opts.option("timeseries", "FILE",
+                "write ptm-timeseries-v1 JSONL records to FILE ('-' "
+                "for stderr); implies --heatmap",
+                [&prm](const std::string &v) {
+                    if (v.empty())
+                        return false;
+                    prm.timeseries.path = v == "-" ? "stderr" : v;
+                    prm.heatmap.enabled = true;
+                    return true;
+                });
+    opts.option("timeseries-interval", "TICKS",
+                "time-series sampling period in simulated ticks "
+                "(default 100000)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0)
+                        return false;
+                    prm.timeseries.interval = Tick(n);
+                    return true;
+                });
+    opts.flag("heatmap",
+              "attribute conflicts, aborts and supervisor misses to "
+              "the hottest pages (bounded top-K counters); adds a "
+              "'hot_pages' JSON section",
+              [&prm] { prm.heatmap.enabled = true; });
+    opts.option("heatmap-k", "N",
+                "keys tracked per heatmap metric (default 64); "
+                "implies --heatmap",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0 || n > 0xFFFFFFFFull)
+                        return false;
+                    prm.heatmap.enabled = true;
+                    prm.heatmap.topK = unsigned(n);
+                    return true;
+                });
+}
+
+void
 addWorkloadOptions(OptionTable &opts, WorkloadOptList &dest)
 {
     opts.option("wl-opt", "KEY=VALUE",
@@ -474,7 +553,20 @@ OptionTable::parse(int argc, char **argv) const
             return CliStatus::Error;
         }
 
-        if (o->onValue) {
+        if (o->onFlag && o->onValue) {
+            // Optional inline value: only the --name=V form carries
+            // one; the next argument is never consumed.
+            if (!have_value) {
+                o->onFlag();
+            } else if (!o->onValue(value)) {
+                std::fprintf(stderr,
+                             "%s: invalid value '%s' for option "
+                             "'--%s'\n",
+                             prog_.c_str(), value.c_str(),
+                             name.c_str());
+                return CliStatus::Error;
+            }
+        } else if (o->onValue) {
             if (!have_value) {
                 if (i + 1 >= argc) {
                     std::fprintf(stderr,

@@ -82,6 +82,16 @@ class OptionTable
                 const std::string &help,
                 std::function<bool(const std::string &)> on);
 
+    /**
+     * A flag that also accepts an optional inline value: `--name`
+     * invokes @p onFlag, `--name=V` invokes @p onValue. The separate
+     * `--name V` form is NOT recognized — the next argument is never
+     * consumed — so the bare flag stays unambiguous.
+     */
+    void flagOrValue(const std::string &name, const std::string &metavar,
+                     const std::string &help, std::function<void()> onFlag,
+                     std::function<bool(const std::string &)> onValue);
+
     /** @name Typed conveniences storing straight into a variable */
     /// @{
     void optionString(const std::string &name, const std::string &metavar,
@@ -159,6 +169,42 @@ struct RobustnessParams
         prm.contention = contention;
     }
 };
+
+/**
+ * The observability-option bundle of a front end: time-series
+ * telemetry and the per-page contention heatmap, collected once and
+ * applied to every SystemParams the front end builds.
+ */
+struct ObservabilityParams
+{
+    TimeseriesParams timeseries;
+    HeatmapParams heatmap;
+
+    void
+    applyTo(SystemParams &prm) const
+    {
+        prm.timeseries = timeseries;
+        prm.heatmap = heatmap;
+    }
+};
+
+/**
+ * Register the shared observability options storing into @p dest:
+ *
+ *  - `--live-stats[=TICKS]` streams ptm-timeseries-v1 interval
+ *    records to stderr while the run is in flight, optionally setting
+ *    the sampling period;
+ *  - `--timeseries FILE` streams the same records to a JSONL file
+ *    ('-' for stderr); `--timeseries-interval TICKS` sets the period;
+ *  - `--heatmap` / `--heatmap-k N` enable and size the per-page
+ *    contention heatmap (`hot_pages` section of the stats JSON).
+ *
+ * Streaming options imply --heatmap so live records carry hot_pages.
+ * Used by ptm_sim and every bench_* front end so the observability
+ * surface is identical everywhere.
+ */
+void addObservabilityOptions(OptionTable &opts,
+                             ObservabilityParams &dest);
 
 /**
  * Register the shared robustness options storing into @p dest:

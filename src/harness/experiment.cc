@@ -53,6 +53,10 @@ runWorkload(const std::string &workload_name, SystemParams params,
     r.auditViolations = sys.auditor().violations();
     r.auditChecks = sys.auditor().checksRun.value();
     r.resolvedOptions = wl->config().options.items();
+    if (sys.heatmap())
+        r.heatmap = sys.heatmap()->snapshot();
+    if (sys.timeseries())
+        r.timeseries = sys.timeseries()->capture();
     if (sys.tracer().active())
         r.trace = captureTrace(sys.tracer(),
                                workload_name + "/" +

@@ -58,6 +58,17 @@ struct ExperimentResult
      * in declaration order — what the manifest records.
      */
     WorkloadOptList resolvedOptions;
+    /**
+     * Per-page contention attribution (enabled == false unless
+     * params.heatmap.enabled): the "hot_pages" JSON section.
+     */
+    HeatmapSnapshot heatmap;
+    /**
+     * The run's in-memory time series (enabled == false unless
+     * params.timeseries.capture): per-interval counter deltas, the
+     * source of bench_kv's steady-state throughput.
+     */
+    TimeseriesCapture timeseries;
 };
 
 /**

@@ -526,12 +526,76 @@ emitProfile(JsonWriter &w, const ProfSnapshot &prof,
     w.endObject();
 }
 
+/** One top-K list as [{"page":N|-1,"count":N,"err":N}, ...]. */
+void
+emitHeatList(JsonWriter &w, const char *keyname,
+             const std::vector<SpaceSavingTopK::Entry> &entries)
+{
+    w.beginArray();
+    for (const auto &e : entries) {
+        w.beginObject();
+        if (e.key == invalidPage || e.key == invalidAddr)
+            w.member(keyname, std::int64_t(-1));
+        else
+            w.member(keyname, e.key);
+        w.member("count", e.count);
+        w.member("err", e.error);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+emitHotPages(JsonWriter &w, const HeatmapSnapshot &heat)
+{
+    w.key("hot_pages");
+    w.beginObject();
+    w.member("k", heat.k);
+
+    w.key("conflicts");
+    w.beginObject();
+    w.member("total", heat.conflictsTotal);
+    w.key("pages");
+    emitHeatList(w, "page", heat.conflictPages);
+    w.key("blocks");
+    emitHeatList(w, "block", heat.conflictBlocks);
+    w.endObject();
+
+    w.key("aborts");
+    w.beginObject();
+    for (unsigned c = 0; c < heatAbortCauses; ++c) {
+        w.key(heatAbortCauseName(c));
+        w.beginObject();
+        w.member("total", heat.abortsTotal[c]);
+        w.key("pages");
+        emitHeatList(w, "page", heat.abortPages[c]);
+        w.endObject();
+    }
+    w.endObject();
+
+    auto section = [&](const char *name, std::uint64_t total,
+                       const std::vector<SpaceSavingTopK::Entry> &top) {
+        w.key(name);
+        w.beginObject();
+        w.member("total", total);
+        w.key("pages");
+        emitHeatList(w, "page", top);
+        w.endObject();
+    };
+    section("spt_misses", heat.sptMissTotal, heat.sptMissPages);
+    section("tav_misses", heat.tavMissTotal, heat.tavMissPages);
+    section("shadow_allocs", heat.shadowAllocTotal,
+            heat.shadowAllocPages);
+
+    w.endObject();
+}
+
 } // namespace
 
 void
 emitRunJson(std::ostream &os, const RunManifest &manifest,
             const StatSnapshot &snap, const ProfSnapshot *prof,
-            const HostProfile *host)
+            const HostProfile *host, const HeatmapSnapshot *heat)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -557,6 +621,8 @@ emitRunJson(std::ostream &os, const RunManifest &manifest,
     w.member("cycles", std::uint64_t(manifest.cycles));
     w.member("verified", manifest.verified);
     w.member("wall_seconds", manifest.wallSeconds);
+    w.member("events_per_sec", manifest.eventsPerSec);
+    w.member("sim_ticks_per_wall_sec", manifest.simTicksPerWallSec);
     w.member("git", gitDescribe());
     if (manifest.params)
         emitParams(w, *manifest.params);
@@ -578,16 +644,20 @@ emitRunJson(std::ostream &os, const RunManifest &manifest,
     if (prof && prof->enabled)
         emitProfile(w, *prof, host);
 
+    if (heat && heat->enabled)
+        emitHotPages(w, *heat);
+
     w.endObject();
 }
 
 bool
 writeRunJson(const std::string &path, const RunManifest &manifest,
              const StatSnapshot &snap, std::string *err,
-             const ProfSnapshot *prof, const HostProfile *host)
+             const ProfSnapshot *prof, const HostProfile *host,
+             const HeatmapSnapshot *heat)
 {
     if (path == "-") {
-        emitRunJson(std::cout, manifest, snap, prof, host);
+        emitRunJson(std::cout, manifest, snap, prof, host, heat);
         return bool(std::cout);
     }
     std::ofstream f(path);
@@ -596,7 +666,7 @@ writeRunJson(const std::string &path, const RunManifest &manifest,
             *err = "cannot open " + path + " for writing";
         return false;
     }
-    emitRunJson(f, manifest, snap, prof, host);
+    emitRunJson(f, manifest, snap, prof, host, heat);
     f.flush();
     if (!f) {
         if (err)

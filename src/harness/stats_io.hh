@@ -21,10 +21,14 @@
  *                     "granularity": ..., "threads": N, "scale": N,
  *                     "workload_options": { "<key>": "<value>", ... },
  *                     "seed": N, "cycles": N, "verified": bool,
- *                     "wall_seconds": x, "git": "...",
+ *                     "wall_seconds": x, "events_per_sec": x,
+ *                     "sim_ticks_per_wall_sec": x, "git": "...",
  *                     "params": { ... SystemParams ... } },
  *       "groups": { "<group>": { "<stat>": { "kind": "counter",
  *                                            "value": N }, ... } } }
+ *
+ * When a contention heatmap ran, a top-level "hot_pages" section
+ * carries the per-metric top-K attributions (see emitRunJson).
  *
  * Stat encodings by kind: counter {value}, average {mean, samples},
  * time_weighted {mean}, scalar {value}, distribution {samples, sum,
@@ -40,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "ptm/heatmap.hh"
 #include "sim/config.hh"
 #include "sim/profile.hh"
 #include "sim/stats.hh"
@@ -145,6 +150,10 @@ struct RunManifest
     Tick cycles = 0;
     bool verified = false;
     double wallSeconds = 0;
+    /** Host throughput: simulated events executed per wall-second. */
+    double eventsPerSec = 0;
+    /** Host throughput: simulated ticks per wall-second. */
+    double simTicksPerWallSec = 0;
     /** Full system configuration; emitted when non-null. */
     const SystemParams *params = nullptr;
 };
@@ -168,11 +177,28 @@ const char *gitDescribe();
  * Every core's bucket ticks sum to its "total", which equals
  * "elapsed_ticks". "host" appears only when @p host is non-null and
  * enabled.
+ *
+ * When @p heat is non-null and enabled a top-level "hot_pages"
+ * section is added:
+ *
+ *     "hot_pages": { "k": N,
+ *                    "conflicts": { "total": N, "pages": [ ... ],
+ *                                   "blocks": [ ... ] },
+ *                    "aborts": { "<cause>": { "total": N,
+ *                                             "pages": [ ... ] } },
+ *                    "spt_misses": { "total": N, "pages": [ ... ] },
+ *                    "tav_misses": { "total": N, "pages": [ ... ] },
+ *                    "shadow_allocs": { "total": N, "pages": [ ... ] } }
+ *
+ * where each list entry is { "page": N | -1, "count": N, "err": N }
+ * (blocks use "block"; -1 is the unattributed sentinel) and every
+ * list's counts sum to its "total" when the key set fit within k.
  */
 void emitRunJson(std::ostream &os, const RunManifest &manifest,
                  const StatSnapshot &snap,
                  const ProfSnapshot *prof = nullptr,
-                 const HostProfile *host = nullptr);
+                 const HostProfile *host = nullptr,
+                 const HeatmapSnapshot *heat = nullptr);
 
 /**
  * Write ptm-stats-v1 JSON to @p path ("-" = stdout).
@@ -181,7 +207,8 @@ void emitRunJson(std::ostream &os, const RunManifest &manifest,
 bool writeRunJson(const std::string &path, const RunManifest &manifest,
                   const StatSnapshot &snap, std::string *err = nullptr,
                   const ProfSnapshot *prof = nullptr,
-                  const HostProfile *host = nullptr);
+                  const HostProfile *host = nullptr,
+                  const HeatmapSnapshot *heat = nullptr);
 
 /**
  * Row-oriented results of one bench binary, written as ptm-bench-v1:

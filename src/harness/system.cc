@@ -82,6 +82,14 @@ System::System(const SystemParams &params)
     // distribution must be populated in plain benchmark runs too.
     txmgr_.setClock([this] { return eq_.curTick(); });
 
+    if (params_.heatmap.enabled) {
+        heatmap_ =
+            std::make_unique<ContentionHeatmap>(params_.heatmap.topK);
+        txmgr_.setHeatmap(heatmap_.get());
+        if (vts_)
+            vts_->setHeatmap(heatmap_.get());
+    }
+
     if (params_.chaos.enabled) {
         chaos_.configure(params_.chaos);
         if (vts_)
@@ -215,6 +223,13 @@ System::wireHooks()
     os_.onThreadExit = [this](ThreadCtx *t) {
         if (vts_)
             vts_->drainThreadCleanups(t->id);
+        // The pending sample event would otherwise keep the queue
+        // running to the next interval boundary after the workload
+        // ends, inflating the elapsed time the profiler closes
+        // against (same hazard as the daemon timer). The final flush
+        // in run() still covers the cancelled remainder.
+        if (os_.liveThreads() == 1)
+            timeseriesEvent_.cancel();
     };
     if (backend_) {
         txmgr_.backendCommit = [this](TxId tx) {
@@ -300,6 +315,36 @@ System::scheduleSample()
                        if (os_.liveThreads() > 0)
                            scheduleSample();
                    });
+}
+
+void
+System::startTimeseries()
+{
+    if (!params_.timeseries.enabled())
+        return;
+    timeseries_ = std::make_unique<TimeseriesSampler>(
+        params_.timeseries, registry_, eq_);
+    timeseries_->setRunInfo(tmKindArg(params_.tmKind), params_.seed,
+                            params_.numCores);
+    if (heatmap_)
+        timeseries_->setHotPages(
+            [this] { return heatmap_->hotPagesJson(8); });
+    // Baselines before the first event executes: interval delta sums
+    // then reconcile exactly with the end-of-run totals.
+    timeseries_->start();
+    scheduleTimeseries();
+}
+
+void
+System::scheduleTimeseries()
+{
+    timeseriesEvent_ =
+        eq_.scheduleIn(params_.timeseries.interval,
+                       EventPriority::Stats, [this] {
+                           timeseries_->sample();
+                           if (os_.liveThreads() > 0)
+                               scheduleTimeseries();
+                       });
 }
 
 void
@@ -416,6 +461,7 @@ Tick
 System::run()
 {
     startSampler();
+    startTimeseries();
     startChaos();
     startAudit();
     os_.startTimers();
@@ -444,6 +490,10 @@ System::run()
     // Close every core's accounting at the final queue tick so bucket
     // totals sum to the elapsed simulated time.
     profiler_.finish(eq_.curTick());
+    // Flush the final (partial) time-series interval after the last
+    // event, before any front end snapshots the registry.
+    if (timeseries_)
+        timeseries_->finish();
     // Report workload completion time: the queue may drain later
     // (timer events, background cleanup walks).
     return os_.lastExitTick() ? os_.lastExitTick() : eq_.curTick();

@@ -31,10 +31,12 @@
 #include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
 #include "ptm/audit.hh"
+#include "ptm/heatmap.hh"
 #include "ptm/vts.hh"
 #include "sim/chaos.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/timeseries.hh"
 #include "sim/trace.hh"
 #include "tx/tx_manager.hh"
 #include "vm/os_kernel.hh"
@@ -214,6 +216,24 @@ class System
     PtmAuditor &auditor() { return auditor_; }
     const PtmAuditor &auditor() const { return auditor_; }
 
+    /**
+     * The per-page contention heatmap, or nullptr unless
+     * params.heatmap.enabled (components then hold null hook pointers:
+     * the default path costs one never-taken branch per event).
+     */
+    ContentionHeatmap *heatmap() { return heatmap_.get(); }
+    const ContentionHeatmap *heatmap() const { return heatmap_.get(); }
+
+    /**
+     * The interval time-series sampler, or nullptr unless
+     * params.timeseries streaming or capture was requested. Built
+     * lazily at run() so it sees every registered stat group.
+     */
+    const TimeseriesSampler *timeseries() const
+    {
+        return timeseries_.get();
+    }
+
     /** @name Component access (tests, benches) */
     /// @{
     EventQueue &eq() { return eq_; }
@@ -242,6 +262,8 @@ class System
     void unparkIfWaiting(ThreadCtx *t, ThreadState expected);
     void startSampler();
     void scheduleSample();
+    void startTimeseries();
+    void scheduleTimeseries();
     void startChaos();
     void scheduleChaos();
     void injectChaos();
@@ -264,6 +286,10 @@ class System
     TxManager txmgr_;
     MemSystem mem_;
     OsKernel os_;
+    std::unique_ptr<ContentionHeatmap> heatmap_;
+    std::unique_ptr<TimeseriesSampler> timeseries_;
+    /** Pending periodic sample; cancelled when the workload ends. */
+    EventQueue::Handle timeseriesEvent_;
     std::unique_ptr<TmBackend> backend_;
     Vts *vts_ = nullptr; //!< non-owning view of backend_ when PTM
     std::vector<std::unique_ptr<Core>> cores_;

@@ -495,7 +495,8 @@ MemSystem::evictLine(CoreId c, CacheLine &victim)
         for (TxId t : losers) {
             if (in_tx_flush_)
                 ++ctxswFlushAborts;
-            txmgr_.abort(t, AbortReason::MultiWriterEviction);
+            txmgr_.abort(t, AbortReason::MultiWriterEviction,
+                         victim.addr);
         }
     }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ptm/heatmap.hh"
 #include "sim/logging.hh"
 
 namespace ptm
@@ -216,6 +217,8 @@ Vts::sptLookupCost(PageNum home)
     if (evicted_dirty)
         tracer_->record(TraceEventType::SptEvict, traceNoId, traceNoId,
                         invalidTxId, invalidTxId, home);
+    if (!hit && heat_)
+        heat_->recordSptMiss(home);
     Tick now = eq_.curTick();
     Tick done = now;
     if (!hit) {
@@ -256,6 +259,8 @@ Vts::tavLookupCost(PageNum home, TxId tx, bool mark_dirty)
     if (evicted_dirty)
         tracer_->record(TraceEventType::TavEvict, traceNoId, traceNoId,
                         tx, invalidTxId, home);
+    if (!hit && heat_)
+        heat_->recordTavMiss(home);
     Tick now = eq_.curTick();
     Tick done = now;
     if (!hit)
@@ -499,6 +504,8 @@ Vts::ensureShadow(SptEntry &e)
     e.shadow = frames_.alloc();
     ++shadow_pages_;
     ++shadowAllocs;
+    if (heat_)
+        heat_->recordShadowAlloc(e.home);
     tracer_->record(TraceEventType::ShadowAlloc, traceNoId, traceNoId,
                     invalidTxId, invalidTxId, e.home, e.shadow);
 }

@@ -154,6 +154,9 @@ class Vts : public TmBackend
     /** Attach the fault injector (System wiring; defaults to nil). */
     void setChaos(ChaosEngine *c) { chaos_ = c; }
 
+    /** Attach the contention heatmap (System wiring; off = nullptr). */
+    void setHeatmap(ContentionHeatmap *h) { heat_ = h; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -316,6 +319,7 @@ class Vts : public TmBackend
     Tracer *tracer_ = &Tracer::nil();
     CycleProfiler *prof_ = &CycleProfiler::nil();
     ChaosEngine *chaos_ = &ChaosEngine::nil();
+    ContentionHeatmap *heat_ = nullptr;
     PageGran gran_;
     bool select_;
 

@@ -130,6 +130,34 @@ struct ContentionParams
     unsigned retryBudget = 0;
 };
 
+/** Time-series telemetry configuration (sim/timeseries.{hh,cc}). */
+struct TimeseriesParams
+{
+    /**
+     * Stream sink: empty = no stream, "stderr" = live emission to
+     * stderr (--live-stats), anything else = a JSONL file. Within one
+     * process the first run truncates a file sink; later runs append,
+     * each starting with its own header record.
+     */
+    std::string path;
+    /** Sampling period in simulated ticks. */
+    Tick interval = 100000;
+    /** Keep the interval records in memory (bench post-processing). */
+    bool capture = false;
+
+    /** The sampler is built when streaming or capturing. */
+    bool enabled() const { return capture || !path.empty(); }
+};
+
+/** Contention-heatmap configuration (ptm/heatmap.{hh,cc}). */
+struct HeatmapParams
+{
+    /** Master switch; no hooks are attached while false. */
+    bool enabled = false;
+    /** Keys tracked per metric (space-saving summary capacity). */
+    unsigned topK = 64;
+};
+
 /** All tunables of one simulated system instance. */
 struct SystemParams
 {
@@ -245,6 +273,12 @@ struct SystemParams
 
     /** Contention-robustness knobs (watchdog on, escalation off). */
     ContentionParams contention;
+
+    /** Time-series telemetry (off by default). */
+    TimeseriesParams timeseries;
+
+    /** Per-page contention heatmap (off by default). */
+    HeatmapParams heatmap;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -5,6 +5,7 @@
 
 #include "tx/tx_manager.hh"
 
+#include "ptm/heatmap.hh"
 #include "sim/logging.hh"
 
 namespace ptm
@@ -213,7 +214,7 @@ TxManager::doLogicalCommit(Transaction &tx)
 }
 
 void
-TxManager::abort(TxId id, AbortReason why)
+TxManager::abort(TxId id, AbortReason why, Addr where)
 {
     Transaction *tx = get(id);
     panic_if(!tx, "aborting unknown transaction %llu",
@@ -240,6 +241,10 @@ TxManager::abort(TxId id, AbortReason why)
         ++abortsExplicit;
         break;
     }
+    // Next to the per-cause counters (after the re-entry guard), so
+    // heatmap per-page sums reconcile with them exactly.
+    if (heat_)
+        heat_->recordAbort(unsigned(why), where);
     tracer_->record(TraceEventType::TxAbort, traceNoId, tx->thread, id,
                     invalidTxId, std::uint64_t(why));
     prof_->charge(ProfCharge::AbortedTxTicks,
@@ -292,14 +297,19 @@ TxManager::resolveConflicts(TxId requester,
         tracer_->record(TraceEventType::ConflictEdge, traceNoId,
                         wthread, winner, loser, where,
                         ltx ? ltx->thread : traceNoId);
+        if (heat_)
+            heat_->recordConflict(where ? where : invalidAddr);
     };
+    // 0 means "unknown" in the trace payload; the heatmap uses
+    // invalidAddr for that, attributing to the sentinel bucket.
+    Addr at = where ? where : invalidAddr;
 
     // Non-transactional accesses always win (section 2.3.3).
     if (requester == invalidTxId) {
         for (TxId c : conflicting) {
             if (isLive(c)) {
                 edge(invalidTxId, traceNoId, c);
-                abort(c, AbortReason::NonTxConflict);
+                abort(c, AbortReason::NonTxConflict, at);
             }
         }
         return true;
@@ -335,7 +345,7 @@ TxManager::resolveConflicts(TxId requester,
         for (TxId c : conflicting) {
             if (c != requester && isLive(c)) {
                 edge(requester, req->thread, c);
-                abort(c, AbortReason::ConflictLost);
+                abort(c, AbortReason::ConflictLost, at);
             }
         }
         return true;
@@ -343,7 +353,7 @@ TxManager::resolveConflicts(TxId requester,
 
     const Transaction *win = get(oldest);
     edge(oldest, win ? win->thread : traceNoId, requester);
-    abort(requester, AbortReason::ConflictLost);
+    abort(requester, AbortReason::ConflictLost, at);
     return false;
 }
 

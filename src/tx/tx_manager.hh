@@ -30,6 +30,7 @@ namespace ptm
 {
 
 struct AuditTestAccess;
+class ContentionHeatmap;
 
 /** Why a transaction was aborted (statistics / traces). */
 enum class AbortReason
@@ -119,8 +120,10 @@ class TxManager
     /**
      * Logically abort @p id (arbitration loss, non-transactional
      * conflict, or explicit). Idempotent while cleanup is pending.
+     * @p where is the conflicting address for heatmap attribution
+     * (invalidAddr when none is attributable, e.g. chaos injection).
      */
-    void abort(TxId id, AbortReason why);
+    void abort(TxId id, AbortReason why, Addr where = invalidAddr);
 
     /**
      * Backend finished draining overflow state of @p id; transitions
@@ -191,6 +194,9 @@ class TxManager
     /** Attach the cycle profiler (System wiring; defaults to nil). */
     void setProfiler(CycleProfiler *p) { prof_ = p; }
 
+    /** Attach the contention heatmap (System wiring; off = nullptr). */
+    void setHeatmap(ContentionHeatmap *h) { heat_ = h; }
+
     /**
      * Attach the simulation clock (System wiring). Unlike the
      * profiler — which is only wired when profiling is enabled — the
@@ -237,6 +243,7 @@ class TxManager
 
     Tracer *tracer_ = &Tracer::nil();
     CycleProfiler *prof_ = &CycleProfiler::nil();
+    ContentionHeatmap *heat_ = nullptr;
     std::function<Tick()> clock_;
     std::unordered_map<TxId, Transaction> table_;
     std::unordered_map<ThreadId, TxId> active_by_thread_;

@@ -41,6 +41,14 @@ THRESHOLDS = {
     "p99_commit_latency": 0.15,
 }
 
+# metric -> allowed relative *decrease* before it counts as a
+# regression. Goodness metrics only: an increase is never flagged.
+# Steady-state throughput integrates over half-run commit deltas, so
+# its noise floor is wider than the cycle budget.
+THRESHOLDS_DECREASE = {
+    "steady_tx_per_sec_1ghz": 0.10,
+}
+
 
 def row_key(row):
     """Join key: every string/bool identity field, sorted by name."""
@@ -98,10 +106,16 @@ def compare(old, new, report_threshold):
                     continue
                 rel = (nv - ov) / ov if ov else float("inf")
                 thr = THRESHOLDS.get(metric)
+                thr_dec = THRESHOLDS_DECREASE.get(metric)
                 if thr is not None and rel > thr:
                     regressions.append(
                         f"{bench}: {key}: {metric} {ov} -> {nv} "
                         f"(+{100.0 * rel:.1f}% > {100.0 * thr:.0f}% "
+                        "budget)")
+                elif thr_dec is not None and -rel > thr_dec:
+                    regressions.append(
+                        f"{bench}: {key}: {metric} {ov} -> {nv} "
+                        f"({100.0 * rel:.1f}% < -{100.0 * thr_dec:.0f}% "
                         "budget)")
                 elif abs(rel) > report_threshold:
                     notes.append(
@@ -183,7 +197,32 @@ def self_test():
     if regs:
         failures.append(f"+10% p99 inside budget flagged: {regs}")
 
-    # 7. A vanished row must be a regression.
+    # 7. A steady-state throughput drop (bench_kv rows) must be
+    # detected beyond its 10% budget; gains must never be flagged.
+    tput = copy.deepcopy(base)
+    tput["benches"]["bench_table1"][0]["steady_tx_per_sec_1ghz"] = \
+        500000.0
+    drop = copy.deepcopy(tput)
+    drop["benches"]["bench_table1"][0]["steady_tx_per_sec_1ghz"] = \
+        400000.0
+    regs, _ = compare(tput, drop, 0.50)
+    if not any("steady_tx_per_sec_1ghz" in r for r in regs):
+        failures.append("-20% steady throughput not detected")
+    gain = copy.deepcopy(tput)
+    gain["benches"]["bench_table1"][0]["steady_tx_per_sec_1ghz"] = \
+        700000.0
+    regs, _ = compare(tput, gain, 0.50)
+    if regs:
+        failures.append(f"steady throughput gain flagged: {regs}")
+    near_drop = copy.deepcopy(tput)
+    near_drop["benches"]["bench_table1"][0]["steady_tx_per_sec_1ghz"] = \
+        475000.0
+    regs, _ = compare(tput, near_drop, 0.50)
+    if regs:
+        failures.append(f"-5% steady throughput inside budget "
+                        f"flagged: {regs}")
+
+    # 8. A vanished row must be a regression.
     gone = copy.deepcopy(base)
     gone["benches"]["bench_table1"].pop(0)
     regs, _ = compare(base, gone, 0.10)

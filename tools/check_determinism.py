@@ -22,7 +22,8 @@ import tempfile
 from pathlib import Path
 
 # Host-dependent manifest fields; everything else must match.
-IGNORED_MANIFEST_FIELDS = ("wall_seconds", "git")
+IGNORED_MANIFEST_FIELDS = ("wall_seconds", "git", "events_per_sec",
+                          "sim_ticks_per_wall_sec")
 
 DEFAULT_CONFIGS = [
     ["--workload", "fft", "--system", "sel-ptm", "--gran", "wd:cache",

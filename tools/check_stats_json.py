@@ -28,6 +28,8 @@ MANIFEST_FIELDS = {
     "cycles": (int, float),
     "verified": bool,
     "wall_seconds": (int, float),
+    "events_per_sec": (int, float),
+    "sim_ticks_per_wall_sec": (int, float),
     "git": str,
     "params": dict,
 }
@@ -269,6 +271,127 @@ def check_profile(ptm_sim):
     return errors
 
 
+def check_hot_pages(ptm_sim):
+    """Validate the optional "hot_pages" section under --heatmap.
+
+    The per-page contention attribution must be present (and carry the
+    documented shape) when --heatmap is given, and absent otherwise.
+    The space-saving counters preserve totals exactly, so each cause's
+    page-list counts must sum to that cause's total.
+    """
+    errors = []
+    cmd = [
+        ptm_sim, "--workload", "kv", "--system", "sel-ptm",
+        "--scale", "0", "--threads", "4",
+        "--wl-opt", "zipf=0.99", "--stats-json", "-", "--heatmap",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"hot_pages: ptm_sim exited {proc.returncode}: "
+                f"{proc.stderr.strip()}"]
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        return [f"hot_pages: invalid JSON: {e}"]
+
+    hot = doc.get("hot_pages")
+    if not isinstance(hot, dict):
+        return ["hot_pages: section missing from --heatmap run"]
+    if not isinstance(hot.get("k"), int) or hot["k"] < 1:
+        errors.append(f"hot_pages: bad k {hot.get('k')!r}")
+
+    def check_entries(where, entries, keyname):
+        if not isinstance(entries, list):
+            errors.append(f"hot_pages: {where} not a list")
+            return 0
+        total = 0
+        prev = None
+        for e in entries:
+            for field in (keyname, "count", "err"):
+                if not isinstance(e.get(field), int):
+                    errors.append(
+                        f"hot_pages: {where} entry missing int "
+                        f"{field!r}")
+                    return total
+            if e["err"] > e["count"]:
+                errors.append(
+                    f"hot_pages: {where} err {e['err']} > count "
+                    f"{e['count']}")
+            if prev is not None and e["count"] > prev:
+                errors.append(f"hot_pages: {where} not sorted by count")
+            prev = e["count"]
+            total += e["count"]
+        return total
+
+    conf = hot.get("conflicts")
+    if not isinstance(conf, dict):
+        errors.append("hot_pages: conflicts section missing")
+    else:
+        total = conf.get("total")
+        page_sum = check_entries("conflicts.pages",
+                                 conf.get("pages"), "page")
+        check_entries("conflicts.blocks", conf.get("blocks"), "block")
+        if not isinstance(total, int) or total < 1:
+            errors.append(
+                "hot_pages: no conflicts attributed under zipf=0.99")
+        elif page_sum != total:
+            errors.append(
+                f"hot_pages: conflict page counts sum {page_sum} != "
+                f"total {total} (space-saving must preserve totals)")
+
+    aborts = hot.get("aborts")
+    if not isinstance(aborts, dict):
+        errors.append("hot_pages: aborts section missing")
+    else:
+        stats = doc.get("groups", {}).get("tx", {})
+        for cause in ("conflict", "nontx", "multiwriter", "explicit"):
+            sec = aborts.get(cause)
+            if not isinstance(sec, dict):
+                errors.append(f"hot_pages: aborts.{cause} missing")
+                continue
+            total = sec.get("total")
+            page_sum = check_entries(f"aborts.{cause}.pages",
+                                     sec.get("pages"), "page")
+            if page_sum != total:
+                errors.append(
+                    f"hot_pages: aborts.{cause} page sum {page_sum} "
+                    f"!= total {total}")
+            counter = stats.get(f"aborts_{cause}", {}).get("value")
+            if counter is not None and total != counter:
+                errors.append(
+                    f"hot_pages: aborts.{cause}.total {total} != "
+                    f"tx.aborts_{cause} {counter}")
+
+    for sec in ("spt_misses", "tav_misses", "shadow_allocs"):
+        entry = hot.get(sec)
+        if not isinstance(entry, dict):
+            errors.append(f"hot_pages: {sec} section missing")
+            continue
+        page_sum = check_entries(f"{sec}.pages", entry.get("pages"),
+                                 "page")
+        if page_sum != entry.get("total"):
+            errors.append(
+                f"hot_pages: {sec} page sum {page_sum} != total "
+                f"{entry.get('total')}")
+
+    # Off by default: a plain run must not carry the section.
+    proc = subprocess.run(
+        [ptm_sim, "--workload", "kv", "--system", "sel-ptm",
+         "--scale", "0", "--threads", "4", "--stats-json", "-"],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        try:
+            plain = json.loads(proc.stdout)
+            if "hot_pages" in plain:
+                errors.append(
+                    "hot_pages: section present without --heatmap")
+        except json.JSONDecodeError as e:
+            errors.append(f"hot_pages: plain run JSON invalid: {e}")
+    else:
+        errors.append(f"hot_pages: plain run exited {proc.returncode}")
+    return errors
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -285,6 +408,9 @@ def main():
     failures.extend(errs)
     errs = check_workload_options(ptm_sim)
     print(f"{'wl-opt':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
+    failures.extend(errs)
+    errs = check_hot_pages(ptm_sim)
+    print(f"{'hot_pages':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
     failures.extend(errs)
     for e in failures:
         print(f"error: {e}", file=sys.stderr)

@@ -84,6 +84,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, prm.profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    ObservabilityParams obs;
+    addObservabilityOptions(opts, obs);
     bool list_stats = false;
     opts.flag("list-stats",
               "list every statistic of the configured system and exit",
@@ -104,6 +106,7 @@ main(int argc, char **argv)
     }
 
     robust.applyTo(prm);
+    obs.applyTo(prm);
 
     if (list_stats) {
         System sys(prm);
@@ -198,6 +201,26 @@ main(int argc, char **argv)
                         (unsigned long long)
                             s.counter("vts.tav_cache_misses"));
         }
+        if (r.heatmap.enabled && r.heatmap.conflictsTotal) {
+            std::printf("hot pages         ");
+            unsigned shown = 0;
+            for (const auto &e : r.heatmap.conflictPages) {
+                if (shown == 3)
+                    break;
+                if (shown)
+                    std::printf(", ");
+                if (e.key == invalidPage)
+                    std::printf("?(%llu)",
+                                (unsigned long long)e.count);
+                else
+                    std::printf("%llu(%llu)",
+                                (unsigned long long)e.key,
+                                (unsigned long long)e.count);
+                ++shown;
+            }
+            std::printf("  [page(conflicts), %llu total]\n",
+                        (unsigned long long)r.heatmap.conflictsTotal);
+        }
         if (s.has("vtm.xadt_inserts")) {
             std::printf("XADT inserts      %llu\n",
                         (unsigned long long)
@@ -225,9 +248,13 @@ main(int argc, char **argv)
         m.cycles = r.cycles;
         m.verified = r.verified;
         m.wallSeconds = wall;
+        m.eventsPerSec =
+            wall > 0 ? s.value("events.executed") / wall : 0;
+        m.simTicksPerWallSec = wall > 0 ? double(r.cycles) / wall : 0;
         m.params = &prm;
         std::string err;
-        if (!writeRunJson(json_path, m, s, &err, &r.profile, &r.host)) {
+        if (!writeRunJson(json_path, m, s, &err, &r.profile, &r.host,
+                          &r.heatmap)) {
             std::fprintf(stderr, "ptm_sim: %s\n", err.c_str());
             return 2;
         }
