@@ -178,6 +178,7 @@ main(int argc, char **argv)
     addRobustnessOptions(opts, robust);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
+    addForensicsOptions(opts, obs.forensics);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/flightrec.hh"
 #include "sim/logging.hh"
 #include "vm/os_kernel.hh"
 
@@ -82,7 +83,9 @@ Core::preempt(ThreadCtx &t, Tick next_step_delay)
         // A mid-transaction thread leaves the core: retire its pending
         // execution ticks now (optimistically, unless already doomed)
         // so the pot stays core-local across the migration.
-        prof_->resolveTx(id_, !t.abortPending);
+        Tick retired = prof_->resolveTx(id_, !t.abortPending);
+        if (fr_ && t.abortPending && retired)
+            fr_->onWasted(t.curTx, retired);
     }
     prof_->set(id_, ProfBucket::CtxSwitch);
     if (params_.flushOnContextSwitch && t.curTx != invalidTxId &&
@@ -427,7 +430,9 @@ Core::handleAbort(ThreadCtx &t)
     // The aborted attempt's execution was wasted; collapsing the phase
     // stack also cleans up any stall span whose pop the epoch bump
     // just abandoned.
-    prof_->resolveTx(id_, false);
+    Tick wasted = prof_->resolveTx(id_, false);
+    if (fr_ && wasted)
+        fr_->onWasted(t.curTx, wasted);
     prof_->collapse(id_, ProfBucket::TxAbort);
 
     if (!t.abortCleanupDone) {

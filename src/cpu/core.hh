@@ -61,6 +61,9 @@ class Core
     /** Attach the cycle-accounting profiler (default: inert nil()). */
     void setProfiler(CycleProfiler &prof) { prof_ = &prof; }
 
+    /** Attach the flight recorder (System wiring; off = nullptr). */
+    void setFlightRec(FlightRecorder *f) { fr_ = f; }
+
     /** @name Statistics */
     /// @{
     Counter memOps;       //!< loads+stores+CAS issued
@@ -137,6 +140,7 @@ class Core
     OsKernel &os_;
 
     CycleProfiler *prof_ = &CycleProfiler::nil();
+    FlightRecorder *fr_ = nullptr;
 
     /** Per-core stream for the randomized abort-restart backoff. */
     Pcg32 backoff_rng_;

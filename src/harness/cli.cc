@@ -380,6 +380,41 @@ addRobustnessOptions(OptionTable &opts, RobustnessParams &prm)
 }
 
 void
+addForensicsOptions(OptionTable &opts, ForensicsParams &prm)
+{
+    opts.option("flightrec-depth", "N",
+                "retired-transaction flight-recorder ring capacity "
+                "(default 256, 0 removes the recorder)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n > 0xFFFFFFFFull)
+                        return false;
+                    prm.depth = unsigned(n);
+                    return true;
+                });
+    opts.option("postmortem", "FILE",
+                "arm abort post-mortem capture and write each "
+                "ptm-postmortem-v1 JSON document to FILE ('-' for "
+                "stderr)",
+                [&prm](const std::string &v) {
+                    if (v.empty())
+                        return false;
+                    prm.postmortemPath = v == "-" ? "stderr" : v;
+                    return true;
+                });
+    opts.option("postmortem-on-abort", "N",
+                "arm capture and trigger a post-mortem when any "
+                "transaction reaches N aborts (0 disables)",
+                [&prm](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n > 0xFFFFFFFFull)
+                        return false;
+                    prm.onAbortThreshold = unsigned(n);
+                    return true;
+                });
+}
+
+void
 addObservabilityOptions(OptionTable &opts, ObservabilityParams &prm)
 {
     opts.flagOrValue(
@@ -496,6 +531,13 @@ chaosReproArgs(const SystemParams &prm)
         s += " --backoff";
     if (prm.contention.retryBudget)
         s += strprintf(" --retry-budget %u", prm.contention.retryBudget);
+    // Re-arm post-mortem capture on replay (the dump path itself is
+    // environment-specific; point the replay at stderr).
+    if (prm.forensics.onAbortThreshold)
+        s += strprintf(" --postmortem-on-abort %u",
+                       prm.forensics.onAbortThreshold);
+    else if (!prm.forensics.postmortemPath.empty())
+        s += " --postmortem -";
     return s;
 }
 

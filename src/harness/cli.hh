@@ -172,19 +172,23 @@ struct RobustnessParams
 
 /**
  * The observability-option bundle of a front end: time-series
- * telemetry and the per-page contention heatmap, collected once and
- * applied to every SystemParams the front end builds.
+ * telemetry, the per-page contention heatmap, and the transaction
+ * flight recorder, collected once and applied to every SystemParams
+ * the front end builds. The forensics member is filled by the
+ * separate addForensicsOptions (front ends register both bundles).
  */
 struct ObservabilityParams
 {
     TimeseriesParams timeseries;
     HeatmapParams heatmap;
+    ForensicsParams forensics;
 
     void
     applyTo(SystemParams &prm) const
     {
         prm.timeseries = timeseries;
         prm.heatmap = heatmap;
+        prm.forensics = forensics;
     }
 };
 
@@ -205,6 +209,27 @@ struct ObservabilityParams
  */
 void addObservabilityOptions(OptionTable &opts,
                              ObservabilityParams &dest);
+
+/**
+ * Register the shared forensics options storing into @p dest:
+ *
+ *  - `--flightrec-depth N` sizes the retired-transaction ring of the
+ *    always-on flight recorder (default 256; 0 removes the recorder
+ *    and its hooks entirely);
+ *  - `--postmortem FILE` arms post-mortem capture and writes each
+ *    ptm-postmortem-v1 JSON document to FILE ('-' for stderr);
+ *  - `--postmortem-on-abort N` arms capture and additionally triggers
+ *    a post-mortem when any transaction reaches N aborts.
+ *
+ * Without either option the recorder still runs (cheap, always on)
+ * but capture stays disarmed: starvation-watchdog trips, token
+ * grants, auditor violations and chaos injections produce post-mortems
+ * only on armed runs. An armed run always prints the human-readable
+ * block to stderr; the JSON dump additionally needs a FILE. Used by
+ * ptm_sim and every bench_* front end so the forensics surface is
+ * identical everywhere.
+ */
+void addForensicsOptions(OptionTable &opts, ForensicsParams &dest);
 
 /**
  * Register the shared robustness options storing into @p dest:

@@ -42,6 +42,13 @@ runWorkload(const std::string &workload_name, SystemParams params,
     auto wl = makeWorkload(workload_name, wcfg, given);
     System sys(params);
     wl->build(sys);
+    // Full reproducer (the System's default covers only seed/chaos):
+    // echoed in every post-mortem dump so a trip is replayable.
+    if (sys.flightrec())
+        sys.flightrec()->setRepro("--workload " + workload_name +
+                                  " --system " +
+                                  tmKindArg(params.tmKind) + " " +
+                                  chaosReproArgs(params));
 
     ExperimentResult r;
     r.cycles = sys.run();
@@ -57,6 +64,8 @@ runWorkload(const std::string &workload_name, SystemParams params,
         r.heatmap = sys.heatmap()->snapshot();
     if (sys.timeseries())
         r.timeseries = sys.timeseries()->capture();
+    if (sys.flightrec())
+        r.forensics = sys.flightrec()->snapshot();
     if (sys.tracer().active())
         r.trace = captureTrace(sys.tracer(),
                                workload_name + "/" +

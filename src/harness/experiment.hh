@@ -69,6 +69,14 @@ struct ExperimentResult
      * source of bench_kv's steady-state throughput.
      */
     TimeseriesCapture timeseries;
+    /**
+     * Flight-recorder capture (enabled == false only when
+     * --flightrec-depth 0 removed the recorder): record/drop totals,
+     * wasted-tick reconciliation inputs, killer rankings, and any
+     * post-mortem reports captured on an armed run — the "forensics"
+     * JSON section.
+     */
+    ForensicsSnapshot forensics;
 };
 
 /**

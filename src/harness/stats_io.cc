@@ -590,12 +590,48 @@ emitHotPages(JsonWriter &w, const HeatmapSnapshot &heat)
     w.endObject();
 }
 
+void
+emitForensics(JsonWriter &w, const ForensicsSnapshot &f)
+{
+    w.key("forensics");
+    w.beginObject();
+    w.member("depth", f.depth);
+    w.member("generations", f.generations);
+    w.member("armed", f.armed);
+    w.member("live_records", f.liveRecords);
+    w.member("retired_records", f.retiredRecords);
+    w.member("dropped_records", f.droppedRecords);
+    w.member("wasted_ticks_total", std::uint64_t(f.wastedTicksTotal));
+    w.member("dropped_wasted_ticks",
+             std::uint64_t(f.droppedWastedTicks));
+    w.member("max_wasted_ticks", std::uint64_t(f.maxWastedTicks));
+    if (f.maxWastedTx == invalidTxId)
+        w.member("max_wasted_tx", std::int64_t(-1));
+    else
+        w.member("max_wasted_tx", std::uint64_t(f.maxWastedTx));
+    w.member("deepest_chain", f.deepestChain);
+    w.member("postmortems", f.postmortems);
+    w.member("dropped_reports", f.droppedReports);
+    w.key("top_killers");
+    w.beginArray();
+    for (const auto &k : f.topKillers) {
+        w.beginObject();
+        w.member("tx", std::uint64_t(k.tx));
+        w.member("kills", k.kills);
+        w.member("wasted_ticks", std::uint64_t(k.wastedTicks));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // namespace
 
 void
 emitRunJson(std::ostream &os, const RunManifest &manifest,
             const StatSnapshot &snap, const ProfSnapshot *prof,
-            const HostProfile *host, const HeatmapSnapshot *heat)
+            const HostProfile *host, const HeatmapSnapshot *heat,
+            const ForensicsSnapshot *forensics)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -647,6 +683,9 @@ emitRunJson(std::ostream &os, const RunManifest &manifest,
     if (heat && heat->enabled)
         emitHotPages(w, *heat);
 
+    if (forensics && forensics->enabled)
+        emitForensics(w, *forensics);
+
     w.endObject();
 }
 
@@ -654,10 +693,12 @@ bool
 writeRunJson(const std::string &path, const RunManifest &manifest,
              const StatSnapshot &snap, std::string *err,
              const ProfSnapshot *prof, const HostProfile *host,
-             const HeatmapSnapshot *heat)
+             const HeatmapSnapshot *heat,
+             const ForensicsSnapshot *forensics)
 {
     if (path == "-") {
-        emitRunJson(std::cout, manifest, snap, prof, host, heat);
+        emitRunJson(std::cout, manifest, snap, prof, host, heat,
+                    forensics);
         return bool(std::cout);
     }
     std::ofstream f(path);
@@ -666,7 +707,7 @@ writeRunJson(const std::string &path, const RunManifest &manifest,
             *err = "cannot open " + path + " for writing";
         return false;
     }
-    emitRunJson(f, manifest, snap, prof, host, heat);
+    emitRunJson(f, manifest, snap, prof, host, heat, forensics);
     f.flush();
     if (!f) {
         if (err)

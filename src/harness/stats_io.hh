@@ -46,6 +46,7 @@
 
 #include "ptm/heatmap.hh"
 #include "sim/config.hh"
+#include "sim/flightrec.hh"
 #include "sim/profile.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -193,12 +194,30 @@ const char *gitDescribe();
  * where each list entry is { "page": N | -1, "count": N, "err": N }
  * (blocks use "block"; -1 is the unattributed sentinel) and every
  * list's counts sum to its "total" when the key set fit within k.
+ *
+ * When @p forensics is non-null and enabled (the flight recorder ran)
+ * a top-level "forensics" section is added:
+ *
+ *     "forensics": { "depth": N, "generations": N, "armed": bool,
+ *                    "live_records": N, "retired_records": N,
+ *                    "dropped_records": N, "wasted_ticks_total": N,
+ *                    "dropped_wasted_ticks": N, "max_wasted_ticks": N,
+ *                    "max_wasted_tx": N | -1, "deepest_chain": N,
+ *                    "postmortems": N, "dropped_reports": N,
+ *                    "top_killers": [ { "tx": N, "kills": N,
+ *                                       "wasted_ticks": N }, ... ] }
+ *
+ * wasted_ticks_total covers dropped records too, so on runs that
+ * finish before the tick limit it reconciles exactly with the
+ * profiler's tx_wasted bucket (tools/check_postmortem_json.py gates
+ * this).
  */
 void emitRunJson(std::ostream &os, const RunManifest &manifest,
                  const StatSnapshot &snap,
                  const ProfSnapshot *prof = nullptr,
                  const HostProfile *host = nullptr,
-                 const HeatmapSnapshot *heat = nullptr);
+                 const HeatmapSnapshot *heat = nullptr,
+                 const ForensicsSnapshot *forensics = nullptr);
 
 /**
  * Write ptm-stats-v1 JSON to @p path ("-" = stdout).
@@ -208,7 +227,8 @@ bool writeRunJson(const std::string &path, const RunManifest &manifest,
                   const StatSnapshot &snap, std::string *err = nullptr,
                   const ProfSnapshot *prof = nullptr,
                   const HostProfile *host = nullptr,
-                  const HeatmapSnapshot *heat = nullptr);
+                  const HeatmapSnapshot *heat = nullptr,
+                  const ForensicsSnapshot *forensics = nullptr);
 
 /**
  * Row-oriented results of one bench binary, written as ptm-bench-v1:

@@ -6,7 +6,9 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <iostream>
 
+#include "harness/forensics_io.hh"
 #include "sim/logging.hh"
 #include "vtm/vtm.hh"
 
@@ -116,6 +118,46 @@ System::System(const SystemParams &params)
         }
     }
 
+    if (params_.forensics.enabled()) {
+        flightrec_ =
+            std::make_unique<FlightRecorder>(params_.forensics);
+        txmgr_.setFlightRec(flightrec_.get());
+        for (auto &c : cores_)
+            c->setFlightRec(flightrec_.get());
+        if (vts_)
+            vts_->setFlightRec(flightrec_.get());
+        using ull = unsigned long long;
+        std::string repro = strprintf("--seed %llu", (ull)params_.seed);
+        if (params_.chaos.enabled)
+            repro += strprintf(
+                " --chaos --chaos-seed %llu --chaos-plan %s "
+                "--chaos-interval %llu",
+                (ull)params_.chaos.seed,
+                chaosPlanString(params_.chaos.plan).c_str(),
+                (ull)params_.chaos.interval);
+        flightrec_->setRepro(repro);
+        if (auditor_.attached())
+            auditor_.onViolation = [this](const AuditViolation &v) {
+                if (flightrec_->armed())
+                    flightrec_->trigger(
+                        PostmortemTrigger::AuditViolation, pickLiveTx(),
+                        v.tick,
+                        v.check + " at " + v.where + ": " + v.detail);
+            };
+        if (flightrec_->armed())
+            flightrec_->onReport = [this](const PostmortemReport &r) {
+                const std::string &path =
+                    params_.forensics.postmortemPath;
+                if (!path.empty()) {
+                    if (std::ostream *os = timeseriesSink(path)) {
+                        emitPostmortemJson(*os, *flightrec_, r);
+                        os->flush();
+                    }
+                }
+                printPostmortem(std::cerr, *flightrec_, r);
+            };
+    }
+
     wireHooks();
     regStats();
 }
@@ -185,11 +227,14 @@ System::regStats()
         c->regStats(registry_);
     if (backend_)
         backend_->regStats(registry_);
-    // Opt-in groups only: the default stats JSON must stay identical.
+    // Opt-in groups only — except the flight recorder, which is on by
+    // default (its counters are part of the default stats JSON).
     if (params_.chaos.enabled)
         chaos_.regStats(registry_);
     if (auditor_.attached())
         auditor_.regStats(registry_);
+    if (flightrec_)
+        flightrec_->regStats(registry_);
 }
 
 System::~System() = default;
@@ -397,6 +442,10 @@ System::injectChaos()
         tracer_.record(TraceEventType::ChaosInject, traceNoId,
                        traceNoId, victim, invalidTxId, f);
         txmgr_.abort(victim, AbortReason::Explicit);
+        if (flightrec_ && flightrec_->armed())
+            flightrec_->trigger(PostmortemTrigger::ChaosInject, victim,
+                                eq_.curTick(),
+                                "chaos-injected explicit abort");
         return;
       case ChaosFault::CacheSqueeze:
         if (!vts_)

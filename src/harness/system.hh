@@ -36,6 +36,7 @@
 #include "sim/chaos.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flightrec.hh"
 #include "sim/timeseries.hh"
 #include "sim/trace.hh"
 #include "tx/tx_manager.hh"
@@ -225,6 +226,15 @@ class System
     const ContentionHeatmap *heatmap() const { return heatmap_.get(); }
 
     /**
+     * The transaction flight recorder, or nullptr when
+     * `--flightrec-depth 0` removed it (components then hold null hook
+     * pointers; recording is otherwise always on, post-mortem capture
+     * only when armed).
+     */
+    FlightRecorder *flightrec() { return flightrec_.get(); }
+    const FlightRecorder *flightrec() const { return flightrec_.get(); }
+
+    /**
      * The interval time-series sampler, or nullptr unless
      * params.timeseries streaming or capture was requested. Built
      * lazily at run() so it sees every registered stat group.
@@ -287,6 +297,7 @@ class System
     MemSystem mem_;
     OsKernel os_;
     std::unique_ptr<ContentionHeatmap> heatmap_;
+    std::unique_ptr<FlightRecorder> flightrec_;
     std::unique_ptr<TimeseriesSampler> timeseries_;
     /** Pending periodic sample; cancelled when the workload ends. */
     EventQueue::Handle timeseriesEvent_;

@@ -57,6 +57,8 @@ PtmAuditor::report(const char *check, const char *where, Tick now,
     v.tick = now;
     v.detail = std::move(detail);
     violations_.push_back(std::move(v));
+    if (onViolation)
+        onViolation(violations_.back());
 }
 
 std::size_t

@@ -30,6 +30,7 @@
 #define PTM_PTM_AUDIT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,13 @@ class PtmAuditor
     {
         return violations_;
     }
+
+    /**
+     * Invoked on every *recorded* violation (System wires this to the
+     * flight recorder's post-mortem trigger). Violations past the
+     * recording cap only count; they do not re-fire the hook.
+     */
+    std::function<void(const AuditViolation &)> onViolation;
 
     /** @name Statistics (registered under "audit") */
     /// @{

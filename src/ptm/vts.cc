@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "ptm/heatmap.hh"
+#include "sim/flightrec.hh"
 #include "sim/logging.hh"
 
 namespace ptm
@@ -206,19 +207,20 @@ Vts::sptEntry(PageNum home) const
 }
 
 Tick
-Vts::sptLookupCost(PageNum home)
+Vts::sptLookupCost(PageNum home, TxId tx)
 {
     bool evicted_dirty = false;
     bool hit = sptCache.access(home, false, evicted_dirty);
     tracer_->record(hit ? TraceEventType::SptHit
                         : TraceEventType::SptMiss,
-                    traceNoId, traceNoId, invalidTxId, invalidTxId,
-                    home);
+                    traceNoId, traceNoId, tx, invalidTxId, home);
     if (evicted_dirty)
         tracer_->record(TraceEventType::SptEvict, traceNoId, traceNoId,
                         invalidTxId, invalidTxId, home);
     if (!hit && heat_)
         heat_->recordSptMiss(home);
+    if (!hit && fr_ && tx != invalidTxId)
+        fr_->onSptMiss(tx);
     Tick now = eq_.curTick();
     Tick done = now;
     if (!hit) {
@@ -261,6 +263,8 @@ Vts::tavLookupCost(PageNum home, TxId tx, bool mark_dirty)
                         tx, invalidTxId, home);
     if (!hit && heat_)
         heat_->recordTavMiss(home);
+    if (!hit && fr_ && tx != invalidTxId)
+        fr_->onTavMiss(tx);
     Tick now = eq_.curTick();
     Tick done = now;
     if (!hit)
@@ -276,7 +280,7 @@ Vts::checkAccess(const BlockAccess &acc)
 {
     CheckResult r;
     PageNum page = pageOf(acc.blockAddr);
-    r.extraLatency += sptLookupCost(page);
+    r.extraLatency += sptLookupCost(page, acc.tx);
 
     SptEntry *e = findEntry(page);
     if (!e)
@@ -386,7 +390,7 @@ Vts::fillBlock(Addr block_addr, TxId requester, std::uint8_t *dst,
     // so charge the SPT-cache consultation here (the selection vector
     // is still needed to locate committed data).
     if (!anyOverflow())
-        extra += sptLookupCost(page);
+        extra += sptLookupCost(page, requester);
 
     TavNode *mine0 =
         requester != invalidTxId ? e->findTav(requester) : nullptr;
@@ -497,7 +501,7 @@ Vts::noteOverflow(TxId tx)
 }
 
 void
-Vts::ensureShadow(SptEntry &e)
+Vts::ensureShadow(SptEntry &e, TxId tx)
 {
     if (e.hasShadow())
         return;
@@ -506,8 +510,10 @@ Vts::ensureShadow(SptEntry &e)
     ++shadowAllocs;
     if (heat_)
         heat_->recordShadowAlloc(e.home);
+    if (fr_ && tx != invalidTxId)
+        fr_->onShadowAlloc(tx);
     tracer_->record(TraceEventType::ShadowAlloc, traceNoId, traceNoId,
-                    invalidTxId, invalidTxId, e.home, e.shadow);
+                    tx, invalidTxId, e.home, e.shadow);
 }
 
 void
@@ -571,7 +577,7 @@ Vts::evictTxBlock(Addr block_addr, TxId tx, bool dirty_spec,
     PageNum page = pageOf(block_addr);
     SptEntry &e = entryFor(page);
     Tick now = eq_.curTick();
-    Tick lat = sptLookupCost(page);
+    Tick lat = sptLookupCost(page, tx);
     lat += tavLookupCost(page, tx, true);
 
     TavNode *node = e.findTav(tx);
@@ -599,7 +605,7 @@ Vts::evictTxBlock(Addr block_addr, TxId tx, bool dirty_spec,
     noteOverflow(tx);
 
     if (dirty_spec) {
-        ensureShadow(e);
+        ensureShadow(e, tx);
 
         if (!select_) {
             // Copy-PTM: back up the committed unit on its first dirty

@@ -157,6 +157,9 @@ class Vts : public TmBackend
     /** Attach the contention heatmap (System wiring; off = nullptr). */
     void setHeatmap(ContentionHeatmap *h) { heat_ = h; }
 
+    /** Attach the flight recorder (System wiring; off = nullptr). */
+    void setFlightRec(FlightRecorder *f) { fr_ = f; }
+
     /** @name TmBackend interface */
     /// @{
     bool anyOverflow() const override { return overflowed_live_ > 0; }
@@ -274,13 +277,19 @@ class Vts : public TmBackend
     SptEntry *findEntry(PageNum home);
     const SptEntry *findEntry(PageNum home) const;
 
-    /** Charge an SPT-cache lookup (hit latency or memory walk). */
-    Tick sptLookupCost(PageNum home);
+    /**
+     * Charge an SPT-cache lookup (hit latency or memory walk). @p tx
+     * is the transaction on whose behalf the lookup runs — flight-
+     * recorder miss attribution only; invalidTxId when the lookup is
+     * not transactional (non-speculative writebacks).
+     */
+    Tick sptLookupCost(PageNum home, TxId tx = invalidTxId);
     /** Charge a TAV-cache lookup for (page, tx). */
     Tick tavLookupCost(PageNum home, TxId tx, bool mark_dirty);
 
-    /** Allocate the shadow page of @p e if not present. */
-    void ensureShadow(SptEntry &e);
+    /** Allocate the shadow page of @p e if not present, attributed to
+     *  @p tx (the overflowing transaction). */
+    void ensureShadow(SptEntry &e, TxId tx);
     /** Free @p e's shadow page. */
     void freeShadow(SptEntry &e);
     /** Free the shadow if the policy allows it right now. */
@@ -320,6 +329,7 @@ class Vts : public TmBackend
     CycleProfiler *prof_ = &CycleProfiler::nil();
     ChaosEngine *chaos_ = &ChaosEngine::nil();
     ContentionHeatmap *heat_ = nullptr;
+    FlightRecorder *fr_ = nullptr;
     PageGran gran_;
     bool select_;
 

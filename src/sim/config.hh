@@ -158,6 +158,40 @@ struct HeatmapParams
     unsigned topK = 64;
 };
 
+/** Flight-recorder / post-mortem configuration (sim/flightrec). */
+struct ForensicsParams
+{
+    /**
+     * Retired-transaction records retained in the recorder ring.
+     * 0 disables the recorder entirely (every hook becomes one
+     * never-taken branch). The recorder is cheap enough to default on.
+     */
+    unsigned depth = 256;
+    /** Generations of abort causality the post-mortem DAG walks. */
+    unsigned generations = 8;
+    /**
+     * Post-mortem dump sink: empty = no dump, "-"/"stderr" = stderr,
+     * anything else = a ptm-postmortem-v1 JSON file. Setting a path
+     * arms every trigger (watchdog trip, starvation grant, auditor
+     * violation, chaos injection).
+     */
+    std::string postmortemPath;
+    /**
+     * Also trigger a post-mortem when any single transaction reaches
+     * this many aborts (0 = only the built-in triggers).
+     */
+    unsigned onAbortThreshold = 0;
+
+    /** The recorder runs (always-on unless depth is zeroed). */
+    bool enabled() const { return depth != 0; }
+    /** Post-mortem capture is armed (triggers take reports). */
+    bool armed() const
+    {
+        return enabled() &&
+               (!postmortemPath.empty() || onAbortThreshold != 0);
+    }
+};
+
 /** All tunables of one simulated system instance. */
 struct SystemParams
 {
@@ -279,6 +313,9 @@ struct SystemParams
 
     /** Per-page contention heatmap (off by default). */
     HeatmapParams heatmap;
+
+    /** Transaction flight recorder / post-mortem (recorder on). */
+    ForensicsParams forensics;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Per-transaction flight recorder and abort post-mortem forensics.
+ *
+ * The recorder keeps one bounded FlightRecord per live transaction and
+ * a fixed-capacity ring of recently-retired ones: begin/restart ticks,
+ * the most recent abort events (cause, conflicting address, winner),
+ * retry counts, SPT/TAV miss counts, shadow-page allocations, and the
+ * wasted ticks the cycle profiler retired against the transaction.
+ * Updates are O(1) hash-map bumps, cheap enough to stay always on;
+ * `--flightrec-depth 0` removes the recorder entirely (components then
+ * hold a null pointer, one never-taken branch per hook).
+ *
+ * On a trigger — starvation-watchdog trip, starvation-token grant,
+ * auditor violation, chaos injection, or a transaction reaching
+ * `--postmortem-on-abort=N` aborts — the recorder reconstructs the
+ * transitive abort-causality DAG (who killed whom, back K generations)
+ * into a bounded PostmortemReport. Nodes are *abort events* (tx,
+ * tick), not transactions, and every edge points from a victim's abort
+ * to an abort of its killer at a strictly earlier tick, so the graph
+ * is acyclic by construction (tools/check_postmortem_json.py verifies
+ * this on the emitted `ptm-postmortem-v1` dump).
+ *
+ * Reconciliation invariants (pinned by the checker and tests):
+ *  - wasted-tick totals, including the ticks of records dropped from
+ *    the ring, sum exactly to the profiler's tx_wasted bucket on runs
+ *    that finish before the tick limit;
+ *  - ring overflow is surfaced honestly: `flightrec.dropped_records`
+ *    counts evicted records so truncated forensics never read as
+ *    complete.
+ *
+ * The recorder is a pure observer: it never feeds back into simulated
+ * timing, so same-seed runs are bit-identical with forensics on or
+ * off.
+ */
+
+#ifndef PTM_SIM_FLIGHTREC_HH
+#define PTM_SIM_FLIGHTREC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/flat_map.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ptm
+{
+
+/** What fired a post-mortem capture. */
+enum class PostmortemTrigger : std::uint8_t
+{
+    Watchdog,        //!< starvation-watchdog trip
+    StarvationGrant, //!< retry-budget escalation to the token
+    AuditViolation,  //!< PTM invariant auditor violation
+    ChaosInject,     //!< chaos-injected explicit abort
+    AbortThreshold,  //!< a tx reached --postmortem-on-abort=N
+};
+
+/** Stable schema name of a trigger ("watchdog", ...). */
+const char *postmortemTriggerName(PostmortemTrigger t);
+
+/** One recorded abort of one transaction attempt. */
+struct FlightAbortEvent
+{
+    Tick tick = 0;
+    unsigned attempt = 0;         //!< attempt number that aborted
+    std::uint8_t cause = 0;       //!< unsigned(AbortReason)
+    Addr where = invalidAddr;     //!< conflicting address, if any
+    TxId winner = invalidTxId;    //!< killer transaction, if any
+};
+
+/** Bounded per-transaction record (live table + retired ring). */
+struct FlightRecord
+{
+    /** Most recent abort events retained per transaction. */
+    static constexpr unsigned maxAborts = 4;
+
+    TxId id = invalidTxId;
+    ThreadId thread = 0;
+    ProcId proc = 0;
+    Tick firstBegin = 0;
+    Tick lastBegin = 0;   //!< begin tick of the latest attempt
+    Tick endTick = 0;     //!< logical-commit tick; 0 while live
+    bool committed = false;
+    unsigned attempts = 0;
+    unsigned abortCount = 0;
+    std::uint64_t kills = 0;        //!< conflicts won (others aborted)
+    std::uint64_t sptMisses = 0;
+    std::uint64_t tavMisses = 0;
+    std::uint64_t shadowAllocs = 0;
+    /** Profiler-retired wasted ticks attributed to this tx. */
+    Tick wastedTicks = 0;
+    /**
+     * Wall ticks of aborted attempts (attempt begin to abort, summed).
+     * Unlike wastedTicks this includes stall time, so it stays
+     * meaningful for workloads whose in-transaction execution is pure
+     * memory traffic.
+     */
+    Tick lostTicks = 0;
+
+    /** Newest-last ring of the most recent aborts (by abortCount). */
+    FlightAbortEvent recentAborts[maxAborts];
+
+    /** Number of valid entries in recentAborts. */
+    unsigned
+    storedAborts() const
+    {
+        return abortCount < maxAborts ? abortCount : maxAborts;
+    }
+
+    /** The @p i-th most recent abort (0 = newest); i < storedAborts. */
+    const FlightAbortEvent &
+    recentAbort(unsigned i) const
+    {
+        return recentAborts[(abortCount - 1 - i) % maxAborts];
+    }
+};
+
+/** One node of the abort-causality DAG: an abort event (or, for a
+ *  transaction with no recorded abort, a terminal node with tick 0). */
+struct PostmortemNode
+{
+    TxId tx = invalidTxId;
+    Tick tick = 0;       //!< abort tick; 0 for a terminal node
+    unsigned attempt = 0;
+    std::uint8_t cause = 0;
+    Addr where = invalidAddr;
+    TxId winner = invalidTxId;
+    unsigned generation = 0; //!< distance from the subject
+};
+
+/** Victim-abort -> killer-abort edge (indices into nodes). */
+struct PostmortemEdge
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+};
+
+/** One captured post-mortem: the DAG plus the involved records. */
+struct PostmortemReport
+{
+    PostmortemTrigger trigger = PostmortemTrigger::Watchdog;
+    Tick tick = 0;
+    TxId subject = invalidTxId;
+    std::string detail;
+    std::vector<PostmortemNode> nodes; //!< subject's events first
+    std::vector<PostmortemEdge> edges;
+    /** Flight records of every transaction in nodes, sorted by id. */
+    std::vector<FlightRecord> records;
+    unsigned chainDepth = 0; //!< deepest generation reached
+};
+
+/** Per-transaction kill ranking entry (forensics stats section). */
+struct KillerRank
+{
+    TxId tx = invalidTxId;
+    std::uint64_t kills = 0;
+    Tick wastedTicks = 0; //!< wasted ticks of the *killer* itself
+};
+
+/** By-value capture of the recorder for results / emission. */
+struct ForensicsSnapshot
+{
+    bool enabled = false;
+    bool armed = false;
+    unsigned depth = 0;
+    unsigned generations = 0;
+    std::uint64_t liveRecords = 0;
+    std::uint64_t retiredRecords = 0;
+    std::uint64_t droppedRecords = 0;
+    /** Wasted ticks across live + retired + dropped records; equals
+     *  the profiler's tx_wasted bucket on runs that complete. */
+    Tick wastedTicksTotal = 0;
+    Tick droppedWastedTicks = 0;
+    Tick maxWastedTicks = 0;
+    TxId maxWastedTx = invalidTxId;
+    /** Deepest abort-causality chain over all records and reports. */
+    unsigned deepestChain = 0;
+    std::uint64_t postmortems = 0;
+    std::uint64_t droppedReports = 0;
+    std::vector<KillerRank> topKillers; //!< kills desc, id asc; <= 5
+    std::vector<PostmortemReport> reports;
+};
+
+/**
+ * The flight recorder. Components hold a plain pointer (null when
+ * depth is 0) and guard every hook with one branch, mirroring the
+ * heatmap wiring; trigger call sites additionally check armed() so an
+ * unarmed run never builds detail strings.
+ */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(const ForensicsParams &params);
+
+    /** @name Recording hooks (TxManager / Core / Vts) */
+    /// @{
+    void onBegin(TxId id, ThreadId thread, ProcId proc, Tick now);
+    void onRestart(TxId id, Tick now, unsigned attempts);
+    /** @p winner is the killer tx (invalidTxId when unattributable). */
+    void onAbort(TxId id, Tick now, std::uint8_t cause, Addr where,
+                 TxId winner);
+    void onCommit(TxId id, Tick now);
+    /** Profiler retired @p amount wasted ticks against @p id. */
+    void onWasted(TxId id, Tick amount);
+    void onSptMiss(TxId id);
+    void onTavMiss(TxId id);
+    void onShadowAlloc(TxId id);
+    /// @}
+
+    /** True when post-mortem capture is armed (triggers do work). */
+    bool armed() const { return armed_; }
+
+    /**
+     * Capture a post-mortem for @p subject: reconstruct the causality
+     * DAG and hand the report to onReport. Bounded per run; no-op
+     * unless armed (call sites guard with armed() so the unarmed path
+     * stays a single branch and never formats @p detail).
+     */
+    void trigger(PostmortemTrigger t, TxId subject, Tick now,
+                 std::string detail);
+
+    /** Emission sink for each captured report (System wiring). */
+    std::function<void(const PostmortemReport &)> onReport;
+
+    /** Replayable repro line echoed in every dump (front-end wiring). */
+    void setRepro(std::string repro) { repro_ = std::move(repro); }
+    const std::string &repro() const { return repro_; }
+
+    const ForensicsParams &params() const { return params_; }
+
+    /** Reports captured so far (bounded; see droppedReports). */
+    const std::vector<PostmortemReport> &reports() const
+    {
+        return reports_;
+    }
+
+    /** Record of @p id (live table, then retired ring), or nullptr. */
+    const FlightRecord *record(TxId id) const;
+
+    /** Number of currently-live (unretired) records. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** Wasted ticks of records evicted from the retired ring. */
+    Tick droppedWasted() const { return dropped_wasted_; }
+
+    ForensicsSnapshot snapshot() const;
+
+    /** Register the recorder statistics under "flightrec". */
+    void regStats(StatRegistry &reg);
+
+    /** @name Statistics */
+    /// @{
+    Counter retiredRecords;  //!< records retired into the ring
+    Counter droppedRecords;  //!< ring evictions (truncated history)
+    Counter postmortems;     //!< post-mortem reports captured
+    Counter droppedReports;  //!< triggers dropped at the report cap
+    /// @}
+
+  private:
+    /** Reports retained per run; later triggers only count. */
+    static constexpr std::size_t maxReports = 16;
+    /** Node cap per report (maxAborts roots x generations chains). */
+    static constexpr std::size_t maxNodes = 64;
+
+    FlightRecord &liveRecord(TxId id);
+    /** Most recent abort of @p id strictly before @p bound, or null. */
+    const FlightAbortEvent *lastAbortBefore(TxId id, Tick bound) const;
+    /** Depth of the latest-killer chain starting at @p rec. */
+    unsigned chainDepthOf(const FlightRecord &rec) const;
+    void buildDag(PostmortemReport &r, Tick now) const;
+
+    ForensicsParams params_;
+    bool armed_ = false;
+    std::string repro_;
+
+    FlatMap<TxId, FlightRecord> live_;
+    std::vector<FlightRecord> ring_; //!< capacity params_.depth
+    std::size_t ring_next_ = 0;
+    Tick dropped_wasted_ = 0;
+
+    std::vector<PostmortemReport> reports_;
+};
+
+} // namespace ptm
+
+#endif // PTM_SIM_FLIGHTREC_HH

@@ -136,15 +136,17 @@ CycleProfiler::doPop(unsigned core)
     l.stack.pop_back();
 }
 
-void
+Tick
 CycleProfiler::doResolveTx(unsigned core, bool committed)
 {
     Lane &l = lane(core);
     accrue(l, now());
     ProfBucket to =
         committed ? ProfBucket::TxUseful : ProfBucket::TxWasted;
-    l.buckets[unsigned(to)] += l.pending;
+    Tick retired = l.pending;
+    l.buckets[unsigned(to)] += retired;
     l.pending = 0;
+    return retired;
 }
 
 void

@@ -244,12 +244,16 @@ class CycleProfiler
      * Retire @p core's pending pot into TxUseful (@p committed) or
      * TxWasted. The current phase is unchanged; callers set() the next
      * phase immediately after.
+     * @return the retired pot in ticks (0 when disabled) — the flight
+     *         recorder attributes wasted amounts per transaction with
+     *         it, so forensic sums reconcile with the tx_wasted bucket.
      */
-    void
+    Tick
     resolveTx(unsigned core, bool committed)
     {
         if (enabled_)
-            doResolveTx(core, committed);
+            return doResolveTx(core, committed);
+        return 0;
     }
 
     /**
@@ -302,7 +306,7 @@ class CycleProfiler
     void doSet(unsigned core, std::uint8_t b);
     void doPush(unsigned core, std::uint8_t b);
     void doPop(unsigned core);
-    void doResolveTx(unsigned core, bool committed);
+    Tick doResolveTx(unsigned core, bool committed);
     void doCollapse(unsigned core, std::uint8_t b);
     void accrue(Lane &lane, Tick now);
     Lane &lane(unsigned core);

@@ -5,7 +5,10 @@
 
 #include "tx/tx_manager.hh"
 
+#include <string>
+
 #include "ptm/heatmap.hh"
+#include "sim/flightrec.hh"
 #include "sim/logging.hh"
 
 namespace ptm
@@ -101,6 +104,8 @@ TxManager::begin(ThreadId thread, ProcId proc, Tick now, bool ordered,
     ++live_count_;
     tracer_->recordAt(now, TraceEventType::TxBegin, traceNoId, thread,
                       id, invalidTxId, 1, ordered ? 1 : 0);
+    if (fr_)
+        fr_->onBegin(id, thread, proc, now);
     return id;
 }
 
@@ -122,6 +127,8 @@ TxManager::restart(TxId id, Tick now)
     ++live_count_;
     tracer_->recordAt(now, TraceEventType::TxRestart, traceNoId,
                       tx->thread, id, invalidTxId, tx->attempts);
+    if (fr_)
+        fr_->onRestart(id, now, tx->attempts);
 
     // Starvation/livelock watchdog: attempts - 1 is the number of
     // consecutive aborts this transaction has suffered. Trips are
@@ -133,6 +140,11 @@ TxManager::restart(TxId id, Tick now)
         ++watchdogTrips;
         tracer_->recordAt(now, TraceEventType::WatchdogTrip, traceNoId,
                           tx->thread, id, invalidTxId, failures);
+        if (fr_ && fr_->armed())
+            fr_->trigger(PostmortemTrigger::Watchdog, id, now,
+                         "watchdog trip after " +
+                             std::to_string(failures) +
+                             " consecutive aborts");
     }
     if (contention_.retryBudget && failures >= contention_.retryBudget &&
         starvation_holder_ == invalidTxId) {
@@ -141,6 +153,11 @@ TxManager::restart(TxId id, Tick now)
         tracer_->recordAt(now, TraceEventType::StarvationGrant,
                           traceNoId, tx->thread, id, invalidTxId,
                           failures);
+        if (fr_ && fr_->armed())
+            fr_->trigger(PostmortemTrigger::StarvationGrant, id, now,
+                         "starvation token granted after " +
+                             std::to_string(failures) +
+                             " consecutive aborts");
     }
 }
 
@@ -186,6 +203,8 @@ TxManager::doLogicalCommit(Transaction &tx)
                   prof_->now() - tx.beginTick);
     if (clock_)
         commitLatency.sample(double(clock_() - tx.firstBeginTick));
+    if (fr_)
+        fr_->onCommit(tx.id, clock_ ? clock_() : 0);
 
     if (onLogicalCommit)
         onLogicalCommit(tx.id);
@@ -214,7 +233,7 @@ TxManager::doLogicalCommit(Transaction &tx)
 }
 
 void
-TxManager::abort(TxId id, AbortReason why, Addr where)
+TxManager::abort(TxId id, AbortReason why, Addr where, TxId winner)
 {
     Transaction *tx = get(id);
     panic_if(!tx, "aborting unknown transaction %llu",
@@ -245,6 +264,9 @@ TxManager::abort(TxId id, AbortReason why, Addr where)
     // heatmap per-page sums reconcile with them exactly.
     if (heat_)
         heat_->recordAbort(unsigned(why), where);
+    if (fr_)
+        fr_->onAbort(id, clock_ ? clock_() : 0, std::uint8_t(why),
+                     where, winner);
     tracer_->record(TraceEventType::TxAbort, traceNoId, tx->thread, id,
                     invalidTxId, std::uint64_t(why));
     prof_->charge(ProfCharge::AbortedTxTicks,
@@ -345,7 +367,7 @@ TxManager::resolveConflicts(TxId requester,
         for (TxId c : conflicting) {
             if (c != requester && isLive(c)) {
                 edge(requester, req->thread, c);
-                abort(c, AbortReason::ConflictLost, at);
+                abort(c, AbortReason::ConflictLost, at, requester);
             }
         }
         return true;
@@ -353,7 +375,7 @@ TxManager::resolveConflicts(TxId requester,
 
     const Transaction *win = get(oldest);
     edge(oldest, win ? win->thread : traceNoId, requester);
-    abort(requester, AbortReason::ConflictLost, at);
+    abort(requester, AbortReason::ConflictLost, at, oldest);
     return false;
 }
 

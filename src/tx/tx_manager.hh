@@ -31,6 +31,7 @@ namespace ptm
 
 struct AuditTestAccess;
 class ContentionHeatmap;
+class FlightRecorder;
 
 /** Why a transaction was aborted (statistics / traces). */
 enum class AbortReason
@@ -121,9 +122,13 @@ class TxManager
      * Logically abort @p id (arbitration loss, non-transactional
      * conflict, or explicit). Idempotent while cleanup is pending.
      * @p where is the conflicting address for heatmap attribution
-     * (invalidAddr when none is attributable, e.g. chaos injection).
+     * (invalidAddr when none is attributable, e.g. chaos injection);
+     * @p winner is the transaction that won the conflict, recorded as
+     * the killer in the flight recorder (invalidTxId when there is no
+     * transactional winner).
      */
-    void abort(TxId id, AbortReason why, Addr where = invalidAddr);
+    void abort(TxId id, AbortReason why, Addr where = invalidAddr,
+               TxId winner = invalidTxId);
 
     /**
      * Backend finished draining overflow state of @p id; transitions
@@ -197,6 +202,9 @@ class TxManager
     /** Attach the contention heatmap (System wiring; off = nullptr). */
     void setHeatmap(ContentionHeatmap *h) { heat_ = h; }
 
+    /** Attach the flight recorder (System wiring; off = nullptr). */
+    void setFlightRec(FlightRecorder *f) { fr_ = f; }
+
     /**
      * Attach the simulation clock (System wiring). Unlike the
      * profiler — which is only wired when profiling is enabled — the
@@ -244,6 +252,7 @@ class TxManager
     Tracer *tracer_ = &Tracer::nil();
     CycleProfiler *prof_ = &CycleProfiler::nil();
     ContentionHeatmap *heat_ = nullptr;
+    FlightRecorder *fr_ = nullptr;
     std::function<Tick()> clock_;
     std::unordered_map<TxId, Transaction> table_;
     std::unordered_map<ThreadId, TxId> active_by_thread_;

@@ -45,7 +45,8 @@ STAT_KINDS = {
     ],
 }
 
-BASE_GROUPS = ["sys", "tx", "mem", "os", "core0", "events"]
+BASE_GROUPS = ["sys", "tx", "mem", "os", "core0", "events",
+               "flightrec"]
 
 PROF_BUCKETS = {
     "idle", "non_tx", "tx_useful", "tx_wasted", "stall_l1", "stall_l2",
@@ -392,6 +393,84 @@ def check_hot_pages(ptm_sim):
     return errors
 
 
+def check_forensics(ptm_sim):
+    """Validate the always-on "forensics" section.
+
+    The flight recorder runs by default, so every stats document must
+    carry the section — with capture disarmed and no post-mortems on a
+    plain run. `--flightrec-depth 0` removes the recorder entirely:
+    both the section and the "flightrec" stat group must disappear.
+    """
+    errors = []
+    proc = subprocess.run(
+        [ptm_sim, "--workload", "fft", "--system", "sel-ptm",
+         "--scale", "0", "--threads", "2", "--stats-json", "-"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"forensics: ptm_sim exited {proc.returncode}: "
+                f"{proc.stderr.strip()}"]
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        return [f"forensics: invalid JSON: {e}"]
+
+    f = doc.get("forensics")
+    if not isinstance(f, dict):
+        return ["forensics: section missing from a default run"]
+    for field in ("depth", "generations", "live_records",
+                  "retired_records", "dropped_records",
+                  "wasted_ticks_total", "dropped_wasted_ticks",
+                  "max_wasted_ticks", "max_wasted_tx", "deepest_chain",
+                  "postmortems", "dropped_reports"):
+        if not isinstance(f.get(field), int):
+            errors.append(f"forensics: {field} missing or mistyped")
+    if f.get("armed") is not False:
+        errors.append("forensics: default run reports armed != false")
+    if f.get("postmortems", 0) != 0:
+        errors.append("forensics: default run captured post-mortems")
+    killers = f.get("top_killers")
+    if not isinstance(killers, list):
+        errors.append("forensics: top_killers missing")
+    else:
+        if len(killers) > 5:
+            errors.append("forensics: top_killers longer than 5")
+        prev = None
+        for k in killers:
+            for field in ("tx", "kills", "wasted_ticks"):
+                if not isinstance(k.get(field), int):
+                    errors.append(
+                        f"forensics: top_killers entry missing {field!r}")
+                    break
+            kills = k.get("kills")
+            if prev is not None and isinstance(kills, int) \
+                    and kills > prev:
+                errors.append("forensics: top_killers not sorted by "
+                              "kills descending")
+            prev = kills if isinstance(kills, int) else prev
+
+    # --flightrec-depth 0 must remove the recorder entirely.
+    proc = subprocess.run(
+        [ptm_sim, "--workload", "fft", "--system", "sel-ptm",
+         "--scale", "0", "--threads", "2", "--flightrec-depth", "0",
+         "--stats-json", "-"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        errors.append(f"forensics: depth-0 run exited {proc.returncode}")
+    else:
+        try:
+            off = json.loads(proc.stdout)
+            if "forensics" in off:
+                errors.append(
+                    "forensics: section present with --flightrec-depth 0")
+            if "flightrec" in off.get("groups", {}):
+                errors.append(
+                    "forensics: flightrec group present with "
+                    "--flightrec-depth 0")
+        except json.JSONDecodeError as e:
+            errors.append(f"forensics: depth-0 run JSON invalid: {e}")
+    return errors
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -411,6 +490,9 @@ def main():
     failures.extend(errs)
     errs = check_hot_pages(ptm_sim)
     print(f"{'hot_pages':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
+    failures.extend(errs)
+    errs = check_forensics(ptm_sim)
+    print(f"{'forensics':10s} {'ok' if not errs else str(len(errs)) + ' error(s)'}")
     failures.extend(errs)
     for e in failures:
         print(f"error: {e}", file=sys.stderr)

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Summarize a ptm-postmortem-v1 dump file.
+
+Reads the concatenated JSON documents a forensics-armed run appends to
+its --postmortem file and reports:
+
+  * trigger mix — how many captures each trigger kind produced;
+  * killer rankings — transactions ordered by conflicts won (kills),
+    with their abort/attempt counts and lost ticks, aggregated over
+    every record in the dump (each transaction counted once, from its
+    latest snapshot);
+  * chain-depth histogram — how deep the abort-causality chains ran,
+    one sample per capture;
+  * page pressure — which pages the recorded abort events named, and,
+    when --stats points at the run's ptm-stats-v1 JSON, whether each
+    one also appears in the heatmap's hot-page top-k (a page that
+    dominates post-mortems but is missing there usually means the
+    heatmap k is too small).
+
+--json emits the same analysis as one machine-readable document.
+
+Usage:
+    postmortem_analyze.py DUMP_FILE [--stats STATS_JSON] [--top N]
+                          [--json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_docs(text):
+    """Split a dump file of concatenated JSON documents."""
+    docs = []
+    dec = json.JSONDecoder()
+    i, n = 0, len(text)
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        doc, end = dec.raw_decode(text, i)
+        docs.append(doc)
+        i = end
+    return docs
+
+
+def analyze(docs, stats_doc=None, top=10):
+    """Aggregate the dump into one analysis dict."""
+    triggers = {}
+    depth_hist = {}
+    # Latest snapshot per transaction: records are point-in-time
+    # copies, so a tx seen in several captures keeps the newest one.
+    records = {}
+    pages = {}
+    for doc in docs:
+        kind = doc.get("trigger", {}).get("kind", "?")
+        triggers[kind] = triggers.get(kind, 0) + 1
+        depth = doc.get("chain_depth", 0)
+        depth_hist[depth] = depth_hist.get(depth, 0) + 1
+        for rec in doc.get("records", []):
+            records[rec.get("tx")] = rec
+        for node in doc.get("nodes", []):
+            page = node.get("page", -1)
+            if isinstance(page, int) and page >= 0:
+                pages[page] = pages.get(page, 0) + 1
+
+    killers = sorted(
+        (r for r in records.values() if r.get("kills", 0)),
+        key=lambda r: (-r.get("kills", 0), r.get("tx", 0)))[:top]
+
+    hot = set()
+    hot_available = False
+    if stats_doc is not None:
+        conflicts = stats_doc.get("hot_pages", {}).get("conflicts", {})
+        entries = conflicts.get("pages")
+        if isinstance(entries, list):
+            hot_available = True
+            hot = {e.get("page") for e in entries}
+
+    page_rows = []
+    for page, count in sorted(pages.items(),
+                              key=lambda kv: (-kv[1], kv[0]))[:top]:
+        row = {"page": page, "abort_events": count}
+        if hot_available:
+            row["in_heatmap_topk"] = page in hot
+        page_rows.append(row)
+
+    return {
+        "captures": len(docs),
+        "triggers": triggers,
+        "repro": docs[0].get("repro", "") if docs else "",
+        "killers": [
+            {"tx": r.get("tx"), "kills": r.get("kills", 0),
+             "attempts": r.get("attempts", 0),
+             "aborts": r.get("aborts", 0),
+             "lost_ticks": r.get("lost_ticks", 0),
+             "wasted_ticks": r.get("wasted_ticks", 0),
+             "committed": r.get("committed", False)}
+            for r in killers],
+        "chain_depth_histogram": {
+            str(d): depth_hist[d] for d in sorted(depth_hist)},
+        "pages": page_rows,
+        "heatmap_crossref": hot_available,
+    }
+
+
+def print_report(a):
+    print(f"captures: {a['captures']}")
+    for kind in sorted(a["triggers"]):
+        print(f"  {kind}: {a['triggers'][kind]}")
+    if a["repro"]:
+        print(f"repro: {a['repro']}")
+
+    print("\nkiller ranking (by conflicts won):")
+    if not a["killers"]:
+        print("  none recorded")
+    for r in a["killers"]:
+        tail = " (committed)" if r["committed"] else ""
+        print(f"  tx {r['tx']}: kills {r['kills']} "
+              f"attempts {r['attempts']} aborts {r['aborts']} "
+              f"lost {r['lost_ticks']} wasted {r['wasted_ticks']}"
+              f"{tail}")
+
+    print("\nchain depth histogram:")
+    hist = a["chain_depth_histogram"]
+    peak = max(hist.values(), default=1)
+    for depth in sorted(hist, key=int):
+        n = hist[depth]
+        bar = "#" * max(1, round(40 * n / peak))
+        print(f"  depth {depth:>2}: {n:>4} {bar}")
+
+    print("\npage pressure (abort events naming the page):")
+    if not a["pages"]:
+        print("  no pages recorded")
+    for row in a["pages"]:
+        note = ""
+        if "in_heatmap_topk" in row:
+            note = ("  [heatmap top-k]" if row["in_heatmap_topk"]
+                    else "  [NOT in heatmap top-k]")
+        print(f"  page {row['page']}: {row['abort_events']}{note}")
+    if a["pages"] and not a["heatmap_crossref"]:
+        print("  (pass --stats with a --heatmap run's JSON to "
+              "cross-reference the hot-page top-k)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Summarize a ptm-postmortem-v1 dump file.")
+    ap.add_argument("dump", help="file written by --postmortem")
+    ap.add_argument("--stats", metavar="JSON",
+                    help="ptm-stats-v1 JSON of the same run, for the "
+                         "hot-page cross-reference")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="rows per ranking (default 10)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the analysis as JSON")
+    args = ap.parse_args()
+
+    try:
+        with open(args.dump) as f:
+            docs = parse_docs(f.read())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read dump: {e}", file=sys.stderr)
+        return 1
+    if not docs:
+        print("error: dump holds no post-mortem documents",
+              file=sys.stderr)
+        return 1
+
+    stats_doc = None
+    if args.stats:
+        try:
+            with open(args.stats) as f:
+                stats_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read stats json: {e}",
+                  file=sys.stderr)
+            return 1
+
+    a = analyze(docs, stats_doc, top=args.top)
+    if args.json:
+        json.dump(a, sys.stdout, indent=2)
+        print()
+    else:
+        print_report(a)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

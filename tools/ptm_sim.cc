@@ -86,6 +86,7 @@ main(int argc, char **argv)
     addRobustnessOptions(opts, robust);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
+    addForensicsOptions(opts, obs.forensics);
     bool list_stats = false;
     opts.flag("list-stats",
               "list every statistic of the configured system and exit",
@@ -119,6 +120,24 @@ main(int argc, char **argv)
         std::fprintf(stderr, "ptm_sim: --stats-json - and --trace - "
                              "cannot both write to stdout\n");
         return 2;
+    }
+
+    // Nor can two machine-readable streams share one file: the JSONL
+    // stream is written during the run, the stats document after it,
+    // so the later open would silently clobber the earlier output.
+    if (!json_path.empty() && json_path != "-") {
+        if (prm.timeseries.path == json_path) {
+            std::fprintf(stderr,
+                         "ptm_sim: --timeseries and --stats-json "
+                         "cannot write to the same file\n");
+            return 2;
+        }
+        if (prm.forensics.postmortemPath == json_path) {
+            std::fprintf(stderr,
+                         "ptm_sim: --postmortem and --stats-json "
+                         "cannot write to the same file\n");
+            return 2;
+        }
     }
 
     // Keep stdout machine-readable when either output goes there.
@@ -221,6 +240,20 @@ main(int argc, char **argv)
             std::printf("  [page(conflicts), %llu total]\n",
                         (unsigned long long)r.heatmap.conflictsTotal);
         }
+        if (r.forensics.enabled) {
+            std::printf("flight recorder   %llu live, %llu retired, "
+                        "%llu postmortems, deepest chain %u\n",
+                        (unsigned long long)r.forensics.liveRecords,
+                        (unsigned long long)r.forensics.retiredRecords,
+                        (unsigned long long)r.forensics.postmortems,
+                        r.forensics.deepestChain);
+            if (r.forensics.droppedRecords)
+                std::printf("warning: flight recorder dropped %llu "
+                            "retired records; forensics are truncated "
+                            "(raise --flightrec-depth)\n",
+                            (unsigned long long)
+                                r.forensics.droppedRecords);
+        }
         if (s.has("vtm.xadt_inserts")) {
             std::printf("XADT inserts      %llu\n",
                         (unsigned long long)
@@ -254,7 +287,7 @@ main(int argc, char **argv)
         m.params = &prm;
         std::string err;
         if (!writeRunJson(json_path, m, s, &err, &r.profile, &r.host,
-                          &r.heatmap)) {
+                          &r.heatmap, &r.forensics)) {
             std::fprintf(stderr, "ptm_sim: %s\n", err.c_str());
             return 2;
         }
