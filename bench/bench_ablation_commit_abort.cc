@@ -58,13 +58,15 @@ struct Result
 Result
 run(TmKind kind, unsigned abort_every, const TraceParams &trace,
     const ProfileParams &profile, const RobustnessParams &robust,
-    const ObservabilityParams &obs, int scale)
+    const MachineParams &machine, const ObservabilityParams &obs,
+    int scale)
 {
     SystemParams p;
     p.tmKind = kind;
     p.trace = trace;
     p.profile = profile;
     robust.applyTo(p);
+    machine.applyTo(p);
     obs.applyTo(p);
     p.l1Bytes = 1024;
     p.l2Bytes = 8 * 1024; // 128 lines: transactions overflow
@@ -176,6 +178,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    MachineParams machine;
+    addMachineOptions(opts, machine);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
@@ -216,7 +220,8 @@ main(int argc, char **argv)
     std::size_t violations = 0;
     for (unsigned every : {0u, 4u, 2u}) {
         for (TmKind k : kinds) {
-            Result r = run(k, every, trace, profile, robust, obs, scale);
+            Result r = run(k, every, trace, profile, robust, machine,
+                           obs, scale);
             violations += r.auditViolations;
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));

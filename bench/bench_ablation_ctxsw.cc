@@ -42,6 +42,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    MachineParams machine;
+    addMachineOptions(opts, machine);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
@@ -86,6 +88,7 @@ main(int argc, char **argv)
             prm.trace = trace;
             prm.profile = profile;
             robust.applyTo(prm);
+            machine.applyTo(prm);
             obs.applyTo(prm);
             ExperimentResult r = runWorkload(app, prm, scale, 8);
             violations += reportAuditViolations("bench_ablation_ctxsw",

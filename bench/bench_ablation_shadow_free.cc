@@ -56,7 +56,8 @@ struct Result
 Result
 run(ShadowFreePolicy policy, const TraceParams &trace,
     const ProfileParams &profile, const RobustnessParams &robust,
-    const ObservabilityParams &obs, int scale)
+    const MachineParams &machine, const ObservabilityParams &obs,
+    int scale)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
@@ -64,6 +65,7 @@ run(ShadowFreePolicy policy, const TraceParams &trace,
     p.trace = trace;
     p.profile = profile;
     robust.applyTo(p);
+    machine.applyTo(p);
     obs.applyTo(p);
     p.swapEnabled = true;
     // Pressure: homes + shadows exceed the frame count at either size.
@@ -164,6 +166,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    MachineParams machine;
+    addMachineOptions(opts, machine);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
@@ -201,7 +205,8 @@ main(int argc, char **argv)
     std::size_t violations = 0;
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
-        Result r = run(pol, trace, profile, robust, obs, scale);
+        Result r = run(pol, trace, profile, robust, machine, obs,
+                       scale);
         violations += r.auditViolations;
         if (!trace.path.empty())
             captures.push_back(std::move(r.trace));

@@ -55,6 +55,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    MachineParams machine;
+    addMachineOptions(opts, machine);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
@@ -79,9 +81,13 @@ main(int argc, char **argv)
     std::FILE *hout = machine_stdout ? stderr : stdout;
     std::vector<TraceCapture> captures;
 
+    // The wide-machine rows (16/32/64) exercise the banked
+    // interconnect and the sharded supervisor at scale; the smoke
+    // sweep keeps one mid and one max row so CI covers the wide
+    // configurations without the full ladder.
     const std::vector<unsigned> thread_sweep =
-        scale == 0 ? std::vector<unsigned>{2, 4}
-                   : std::vector<unsigned>{1, 2, 4, 8};
+        scale == 0 ? std::vector<unsigned>{2, 4, 16, 64}
+                   : std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64};
     const double zipf_sweep[] = {0.0, 0.99};
 
     std::fprintf(hout, "KV serving workload on Sel-PTM "
@@ -105,6 +111,7 @@ main(int argc, char **argv)
             prm.trace = trace;
             prm.profile = profile;
             robust.applyTo(prm);
+            machine.applyTo(prm);
             obs.applyTo(prm);
             // Always capture the time series internally: the sampler
             // is a pure read at the lowest event priority, so the
@@ -211,6 +218,13 @@ main(int argc, char **argv)
                 .field("spt_hit_rate", spt_rate)
                 .field("tav_hit_rate", tav_rate)
                 .field("verified", r.verified);
+            // Host throughput is machine-dependent: emitted only on
+            // request so checked-in baselines compare across hosts.
+            if (machine.hostMetrics)
+                rec.field("sim_events_per_sec",
+                          r.wallSeconds > 0
+                              ? r.eventsExecuted / r.wallSeconds
+                              : 0.0);
             addProfileFields(rec, r.profile);
         }
     }

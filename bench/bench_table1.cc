@@ -72,6 +72,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    MachineParams machine;
+    addMachineOptions(opts, machine);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
@@ -114,7 +116,8 @@ main(int argc, char **argv)
         prm.trace = trace;
         prm.profile = profile;
         robust.applyTo(prm);
-            obs.applyTo(prm);
+        machine.applyTo(prm);
+        obs.applyTo(prm);
         ExperimentResult r = runWorkload(name, prm, scale, 4);
         violations +=
             reportAuditViolations("bench_table1", name, prm, r);
@@ -152,9 +155,59 @@ main(int argc, char **argv)
             .field("ideal_pct", s.value("sys.ideal_pct"))
             .field("mop_per_evict", mop)
             .field("verified", r.verified);
+        if (machine.hostMetrics)
+            rec.field("sim_events_per_sec",
+                      r.wallSeconds > 0
+                          ? r.eventsExecuted / r.wallSeconds
+                          : 0.0);
         addProfileFields(rec, r.profile);
     }
     table.print(hout);
+
+    // Wide-machine scaling rows: the same transactional profile on
+    // 16/32/64 cores (fft, the cheapest kernel), exercising the
+    // banked interconnect and the per-core supervisor sharding.
+    std::fprintf(hout, "\nCore scaling (fft, Select-PTM):\n\n");
+    Report scaling({"cores", "commit", "abort", "cycles",
+                    "ctx-switch", "ok"});
+    for (unsigned cores : {16u, 32u, 64u}) {
+        SystemParams prm;
+        prm.tmKind = TmKind::SelectPtm;
+        prm.numCores = cores;
+        prm.trace = trace;
+        prm.profile = profile;
+        robust.applyTo(prm);
+        machine.applyTo(prm);
+        obs.applyTo(prm);
+        ExperimentResult r = runWorkload("fft", prm, scale, cores);
+        violations +=
+            reportAuditViolations("bench_table1", "fft", prm, r);
+        if (!trace.path.empty())
+            captures.push_back(std::move(r.trace));
+        const StatSnapshot &s = r.snapshot;
+        scaling.row({"c" + std::to_string(cores),
+                     cellU(s.counter("tx.commits")),
+                     cellU(s.counter("tx.aborts")),
+                     cellU(std::uint64_t(r.cycles)),
+                     cellU(s.counter("os.context_switches")),
+                     r.verified ? "yes" : "NO"});
+        rec.beginRow()
+            .field("app", "fft")
+            .field("config", "scale-c" + std::to_string(cores))
+            .field("cores", cores)
+            .field("cycles", std::uint64_t(r.cycles))
+            .field("commits", s.counter("tx.commits"))
+            .field("aborts", s.counter("tx.aborts"))
+            .field("context_switches",
+                   s.counter("os.context_switches"))
+            .field("verified", r.verified);
+        if (machine.hostMetrics)
+            rec.field("sim_events_per_sec",
+                      r.wallSeconds > 0
+                          ? r.eventsExecuted / r.wallSeconds
+                          : 0.0);
+    }
+    scaling.print(hout);
 
     if (!rec.writeJson(json_path)) {
         std::fprintf(stderr, "bench_table1: cannot write %s\n",

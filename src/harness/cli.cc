@@ -281,6 +281,40 @@ addProfileOptions(OptionTable &opts, ProfileParams &dest)
 }
 
 void
+addMachineOptions(OptionTable &opts, MachineParams &dest)
+{
+    opts.option("mem-banks", "N",
+                "address-interleaved interconnect banks (power of "
+                "two, max 256; default 1 = the paper's single bus)",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0 || n > 256 ||
+                        (n & (n - 1)) != 0)
+                        return false;
+                    dest.memBanks = unsigned(n);
+                    return true;
+                });
+    opts.flagOrValue(
+        "fast-forward", "K",
+        "batch up to K non-transactional ops per host event in "
+        "conflict-free stretches (bare flag: K=32; simulated "
+        "results unchanged)",
+        [&dest] { dest.fastForwardOps = 32; },
+        [&dest](const std::string &v) {
+            std::uint64_t n;
+            if (!parseU64(v, n) || n == 0 || n > 0xFFFFFFFFull)
+                return false;
+            dest.fastForwardOps = unsigned(n);
+            return true;
+        });
+    opts.flag("host-metrics",
+              "emit host-derived throughput (sim_events_per_sec) in "
+              "bench result rows (machine-dependent; off in "
+              "checked-in baselines)",
+              [&dest] { dest.hostMetrics = true; });
+}
+
+void
 addRobustnessOptions(OptionTable &opts, RobustnessParams &prm)
 {
     opts.flag("chaos",
@@ -603,9 +637,10 @@ OptionTable::parse(int argc, char **argv) const
             } else if (!o->onValue(value)) {
                 std::fprintf(stderr,
                              "%s: invalid value '%s' for option "
-                             "'--%s'\n",
+                             "'--%s' (%s: %s)\n",
                              prog_.c_str(), value.c_str(),
-                             name.c_str());
+                             name.c_str(), o->metavar.c_str(),
+                             o->help.c_str());
                 return CliStatus::Error;
             }
         } else if (o->onValue) {
@@ -623,9 +658,10 @@ OptionTable::parse(int argc, char **argv) const
             if (!o->onValue(value)) {
                 std::fprintf(stderr,
                              "%s: invalid value '%s' for option "
-                             "'--%s'\n",
+                             "'--%s' (%s: %s)\n",
                              prog_.c_str(), value.c_str(),
-                             name.c_str());
+                             name.c_str(), o->metavar.c_str(),
+                             o->help.c_str());
                 return CliStatus::Error;
             }
         } else {

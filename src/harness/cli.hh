@@ -193,6 +193,48 @@ struct ObservabilityParams
 };
 
 /**
+ * The machine-scaling option bundle of a front end: interconnect
+ * banking, host-loop fast-forward, and host-throughput metric
+ * emission, collected once and applied to every SystemParams the
+ * front end builds.
+ */
+struct MachineParams
+{
+    /** Interleaved interconnect banks (power of two; 1 = paper bus). */
+    unsigned memBanks = 1;
+    /** Max ops per direct-execution fast-forward batch (0 = off). */
+    unsigned fastForwardOps = 0;
+    /**
+     * Emit host-derived throughput (sim_events_per_sec) in bench rows.
+     * Off by default so checked-in baselines stay machine-independent.
+     */
+    bool hostMetrics = false;
+
+    void
+    applyTo(SystemParams &prm) const
+    {
+        prm.memBanks = memBanks;
+        prm.fastForwardOps = fastForwardOps;
+    }
+};
+
+/**
+ * Register the shared machine-scaling options storing into @p dest:
+ *
+ *  - `--mem-banks N` splits the interconnect into N address-interleaved
+ *    banks (power of two; default 1 reproduces the paper's single bus
+ *    bit-exactly);
+ *  - `--fast-forward[=K]` batches up to K non-transactional ops per
+ *    host event in conflict-free stretches (bare flag: K=32; simulated
+ *    results are unchanged, host throughput rises);
+ *  - `--host-metrics` adds host-derived throughput to bench rows.
+ *
+ * Used by ptm_sim and every bench_* front end so the scaling surface
+ * is identical everywhere.
+ */
+void addMachineOptions(OptionTable &opts, MachineParams &dest);
+
+/**
  * Register the shared observability options storing into @p dest:
  *
  *  - `--live-stats[=TICKS]` streams ptm-timeseries-v1 interval

@@ -5,6 +5,7 @@
 
 #include "harness/experiment.hh"
 
+#include <chrono>
 #include <cstdio>
 
 #include "harness/cli.hh"
@@ -51,8 +52,13 @@ runWorkload(const std::string &workload_name, SystemParams params,
                                   chaosReproArgs(params));
 
     ExperimentResult r;
+    auto t0 = std::chrono::steady_clock::now();
     r.cycles = sys.run();
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
     r.snapshot = sys.snapshot();
+    r.eventsExecuted = r.snapshot.value("events.executed");
     r.stats = sys.stats();
     r.verified = wl->verify(sys);
     r.profile = sys.profiler().snapshot();

@@ -77,6 +77,16 @@ struct ExperimentResult
      * JSON section.
      */
     ForensicsSnapshot forensics;
+    /**
+     * Host wall-clock seconds spent inside the event loop (the
+     * sys.run() span only — workload build and verification excluded)
+     * and the events it executed. sim_events_per_sec =
+     * eventsExecuted / wallSeconds is the host-throughput metric the
+     * scaling benches record (machine-dependent; never compared
+     * across machines).
+     */
+    double wallSeconds = 0;
+    double eventsExecuted = 0;
 };
 
 /**

@@ -658,6 +658,7 @@ emitRunJson(std::ostream &os, const RunManifest &manifest,
     w.member("verified", manifest.verified);
     w.member("wall_seconds", manifest.wallSeconds);
     w.member("events_per_sec", manifest.eventsPerSec);
+    w.member("sim_events_per_sec", manifest.simEventsPerSec);
     w.member("sim_ticks_per_wall_sec", manifest.simTicksPerWallSec);
     w.member("git", gitDescribe());
     if (manifest.params)

@@ -153,6 +153,11 @@ struct RunManifest
     double wallSeconds = 0;
     /** Host throughput: simulated events executed per wall-second. */
     double eventsPerSec = 0;
+    /**
+     * Host throughput over the event loop only (sys.run() span,
+     * excluding workload build/verify): the scaling regression metric.
+     */
+    double simEventsPerSec = 0;
     /** Host throughput: simulated ticks per wall-second. */
     double simTicksPerWallSec = 0;
     /** Full system configuration; emitted when non-null. */

@@ -20,6 +20,11 @@ System::System(const SystemParams &params)
       txmgr_(), mem_(params, eq_, phys_, txmgr_),
       os_(params, eq_, phys_, frames_)
 {
+    // Front ends validate with a clean diagnostic; embedders (tests,
+    // custom harnesses) get the same checks as a fatal here.
+    if (std::string err = validateParams(params_); !err.empty())
+        fatal("%s", err.c_str());
+
     switch (params_.tmKind) {
       case TmKind::SelectPtm:
       case TmKind::CopyPtm: {

@@ -7,6 +7,7 @@
 #include "mem/mem_system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -17,10 +18,14 @@ namespace ptm
 MemSystem::MemSystem(const SystemParams &params, EventQueue &eq,
                      PhysMem &phys, TxManager &txmgr)
     : params_(params), eq_(eq), phys_(phys), txmgr_(txmgr),
-      bus_(params.busLatency),
+      bus_(params.busLatency, params.memBanks),
       dram_(params.dramLatency, params.dramPipeline,
-            params.dramWriteOccupancy)
+            params.dramWriteOccupancy),
+      dir_(std::max(1u, params.memBanks))
 {
+    panic_if(params.numCores > 64,
+             "sharer-filter masks are 64-bit: numCores %u > 64",
+             params.numCores);
     for (unsigned c = 0; c < params.numCores; ++c) {
         l1_.push_back(std::make_unique<L1Filter>(params.l1Bytes,
                                                  params.l1Assoc));
@@ -48,12 +53,50 @@ MemSystem::regStats(StatRegistry &reg)
                  "misses satisfied by a peer cache transfer");
     g.addCounter("ctxsw_flush_aborts", &ctxswFlushAborts,
                  "aborts caused by context-switch line flushes");
+    g.addCounter("snoops_filtered", &snoopsFiltered,
+                 "per-core snoop probes skipped by the sharer filter");
     g.addScalar("bus_transactions",
                 [this] { return double(bus_.transactions()); },
                 "coherence bus transactions issued");
+    g.addScalar("bus_busy_cycles",
+                [this] { return double(bus_.busyCycles()); },
+                "cycles any interconnect bank was occupied");
+    for (unsigned b = 0; b < bus_.numBanks(); ++b) {
+        g.addScalar("bus_bank" + std::to_string(b) + "_busy_cycles",
+                    [this, b] {
+                        return double(bus_.bankBusyCycles(b));
+                    },
+                    "cycles interconnect bank " + std::to_string(b) +
+                        " was occupied");
+    }
     g.addScalar("dram_accesses",
                 [this] { return double(dram_.accesses()); },
                 "DRAM accesses issued");
+}
+
+std::uint64_t
+MemSystem::dirSharers(Addr block) const
+{
+    const auto &part = dir_[bus_.bankOf(block)];
+    const std::uint64_t *m = part.find(block);
+    return m ? *m : 0;
+}
+
+void
+MemSystem::dirSet(CoreId c, Addr block)
+{
+    dir_[bus_.bankOf(block)][block] |= std::uint64_t(1) << c;
+}
+
+void
+MemSystem::dirClear(CoreId c, Addr block)
+{
+    auto &part = dir_[bus_.bankOf(block)];
+    if (std::uint64_t *m = part.find(block)) {
+        *m &= ~(std::uint64_t(1) << c);
+        if (*m == 0)
+            part.erase(block);
+    }
 }
 
 std::uint16_t
@@ -172,7 +215,7 @@ MemSystem::request(const Access &acc, AccessCallback cb)
     Tick treq = eq_.curTick() + params_.l1Latency + params_.l2Latency;
     Tick occupancy = params_.busLatency +
                      (wordMode() ? params_.wordCoherenceOverhead : 0);
-    Tick grant = bus_.reserve(treq, occupancy);
+    Tick grant = bus_.reserve(blockAlign(acc.paddr), treq, occupancy);
     eq_.schedule(grant, EventPriority::Memory,
                  [this, acc, cb = std::move(cb), grant]() mutable {
                      processGrant(acc, std::move(cb), grant, 0);
@@ -188,7 +231,7 @@ MemSystem::scheduleRetry(const Access &acc, AccessCallback cb, Tick when,
              (unsigned long long)acc.paddr);
     Tick occupancy = params_.busLatency +
                      (wordMode() ? params_.wordCoherenceOverhead : 0);
-    Tick grant = bus_.reserve(when, occupancy);
+    Tick grant = bus_.reserve(blockAlign(acc.paddr), when, occupancy);
     eq_.schedule(grant, EventPriority::Memory,
                  [this, acc, cb = std::move(cb), grant,
                   attempt]() mutable {
@@ -213,14 +256,34 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
         return;
     }
 
-    // 1. Collect in-cache conflicts from every cache (including our
-    //    own line: a context-switched transaction's marks may live
-    //    there).
+    // 1. Probe the sharer filter once and cache the found lines —
+    //    processGrant runs atomically, so no new sharer can appear
+    //    before the install below; conflict resolution and evictions
+    //    can only *invalidate* lines, which later steps detect through
+    //    the cached pointers (the line slab never reallocates).
+    //    Ascending-core iteration visits the caches in the same order
+    //    the broadcast loops did, so every simulated result is
+    //    unchanged. Then collect in-cache conflicts from every sharer
+    //    (including our own line: a context-switched transaction's
+    //    marks may live there).
+    std::vector<std::pair<CoreId, CacheLine *>> sharer_lines;
+    {
+        std::uint64_t snoop_set = dirSharers(block);
+        snoopsFiltered += params_.numCores -
+                          unsigned(std::popcount(snoop_set));
+        for (std::uint64_t sh = snoop_set; sh; sh &= sh - 1) {
+            CoreId o = CoreId(std::countr_zero(sh));
+            if (CacheLine *l = l2_[o]->find(block))
+                sharer_lines.emplace_back(o, l);
+            else
+                dirClear(o, block); // self-heal a stale sharer bit
+        }
+    }
     std::vector<TxId> confl;
-    for (CoreId o = 0; o < params_.numCores; ++o)
-        if (CacheLine *l = l2_[o]->find(block))
-            lineConflicts(acc, mask, *l, confl);
-
+    for (auto &[o, l] : sharer_lines) {
+        (void)o;
+        lineConflicts(acc, mask, *l, confl);
+    }
     // 2. Consult the backend about overflowed state (only needed while
     //    the global overflow flag is raised, section 3.1).
     Tick extra = 0;
@@ -286,6 +349,7 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
         if (victim.valid()) {
             extra += evictLine(c, victim);
             l1Invalidate(c, victim.addr);
+            dirClear(c, victim.addr);
             victim.invalidate();
             if (acc.tx != invalidTxId && !txmgr_.isLive(acc.tx)) {
                 cb(grant_tick + params_.busLatency + extra,
@@ -306,12 +370,15 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
     bool any_other_copy = false;
     std::uint16_t migrated_dirty = 0;
     std::vector<TxMark> migrated;
-    for (CoreId o = 0; o < params_.numCores; ++o) {
+    for (auto &[o, l] : sharer_lines) {
         if (o == c)
             continue;
-        CacheLine *l = l2_[o]->find(block);
-        if (!l)
+        if (!l->valid() || l->addr != block) {
+            // The copy was scrubbed by conflict resolution or the
+            // eviction above; drop the (possibly stale) sharer bit.
+            dirClear(o, block);
             continue;
+        }
         any_other_copy = true;
         if (l->state == Moesi::M || l->state == Moesi::O ||
             l->state == Moesi::E) {
@@ -364,13 +431,14 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
         // Invalidate the other copies; their live marks migrate with
         // the data (word-granularity modes can legitimately have
         // non-conflicting marks of other transactions).
-        for (CoreId o = 0; o < params_.numCores; ++o) {
+        for (auto &[o, l] : sharer_lines) {
             if (o == c)
                 continue;
-            if (CacheLine *l = l2_[o]->find(block)) {
+            if (l->valid() && l->addr == block) {
                 l->invalidate();
                 l1Invalidate(o, block);
             }
+            dirClear(o, block);
         }
     } else if (src) {
         // GetS: the owner keeps ownership (M -> O), E degrades to S.
@@ -408,6 +476,7 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
 
     // Merge migrated marks (word-granularity data movement).
     for (const auto &m : migrated) {
+        noteTxCore(m.tx, c);
         TxMark &mine = target->mark(m.tx);
         mine.readWords |= m.readWords;
         mine.writeWords |= m.writeWords;
@@ -415,11 +484,13 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
     for (const auto &fm : fill_foreign) {
         // Overflowed speculative words of other live transactions came
         // with the fill: the line must carry their marks.
+        noteTxCore(fm.tx, c);
         TxMark &mine = target->mark(fm.tx);
         mine.readWords |= fm.readWords;
         mine.writeWords |= fm.writeWords;
     }
     if (fill_spec_words && acc.tx != invalidTxId) {
+        noteTxCore(acc.tx, c);
         // The fill contains the requester's own overflowed speculative
         // words: restore the write marking (the line is speculative,
         // not a committed copy).
@@ -446,6 +517,7 @@ MemSystem::processGrant(const Access &acc, AccessCallback cb,
     setMarks(acc, *target);
     fillL1(c, *target, acc.tx);
     l2_[c]->touch(*target);
+    dirSet(c, block); // the single line-install site of the directory
 
     cb(std::max(data_ready, grant_tick + params_.busLatency) + extra,
        AccessResult{v, false});
@@ -613,10 +685,24 @@ MemSystem::noteWordWrite(const Access &acc, CacheLine &line)
 }
 
 void
+MemSystem::noteTxCore(TxId tx, CoreId c)
+{
+    tx_cores_[tx] |= std::uint64_t(1) << c;
+}
+
+std::uint64_t
+MemSystem::txCoreMask(TxId tx) const
+{
+    const std::uint64_t *m = tx_cores_.find(tx);
+    return m ? *m : 0;
+}
+
+void
 MemSystem::setMarks(const Access &acc, CacheLine &line)
 {
     if (acc.tx == invalidTxId)
         return;
+    noteTxCore(acc.tx, acc.core);
     std::uint16_t mask = accessMask(acc.paddr);
     TxMark &m = line.mark(acc.tx);
     if (acc.isWrite || acc.isCas)
@@ -674,7 +760,8 @@ MemSystem::l1Downgrade(CoreId c, Addr block)
 void
 MemSystem::commitClearTx(TxId tx)
 {
-    for (CoreId c = 0; c < params_.numCores; ++c) {
+    for (std::uint64_t m = txCoreMask(tx); m; m &= m - 1) {
+        CoreId c = CoreId(std::countr_zero(m));
         l2_[c]->forEachValid([&](CacheLine &l) {
             if (TxMark *m = l.findMark(tx)) {
                 // The speculative words become committed: their only
@@ -691,13 +778,15 @@ MemSystem::commitClearTx(TxId tx)
             }
         });
     }
+    tx_cores_.erase(tx);
 }
 
 void
 MemSystem::abortInvalidate(TxId tx)
 {
     const bool block_mode = !wordMode();
-    for (CoreId c = 0; c < params_.numCores; ++c) {
+    for (std::uint64_t m = txCoreMask(tx); m; m &= m - 1) {
+        CoreId c = CoreId(std::countr_zero(m));
         l2_[c]->forEachValid([&](CacheLine &l) {
             TxMark *m = l.findMark(tx);
             if (!m)
@@ -705,6 +794,7 @@ MemSystem::abortInvalidate(TxId tx)
             if (m->writeWords) {
                 if (block_mode) {
                     l1Invalidate(c, l.addr);
+                    dirClear(c, l.addr);
                     l.invalidate();
                     return;
                 }
@@ -719,6 +809,7 @@ MemSystem::abortInvalidate(TxId tx)
                 e.valid = false;
         });
     }
+    tx_cores_.erase(tx);
 }
 
 void
@@ -746,16 +837,19 @@ MemSystem::flushTxLines(TxId tx)
 {
     Tick lat = 0;
     in_tx_flush_ = true;
-    for (CoreId c = 0; c < params_.numCores; ++c) {
+    for (std::uint64_t m = txCoreMask(tx); m; m &= m - 1) {
+        CoreId c = CoreId(std::countr_zero(m));
         l2_[c]->forEachValid([&](CacheLine &l) {
             if (!l.findMark(tx))
                 return;
             lat += evictLine(c, l);
             l1Invalidate(c, l.addr);
+            dirClear(c, l.addr);
             l.invalidate();
         });
     }
     in_tx_flush_ = false;
+    tx_cores_.erase(tx);
     return lat;
 }
 
@@ -769,6 +863,7 @@ MemSystem::flushPage(PageNum home)
                 return;
             lat += evictLine(c, l);
             l1Invalidate(c, l.addr);
+            dirClear(c, l.addr);
             l.invalidate();
         });
     }

@@ -38,6 +38,7 @@
 #include "mem/timing.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "tx/tm_backend.hh"
@@ -166,6 +167,8 @@ class MemSystem
     /** Aborts forced by a context-switch flush of tx cache lines
      *  (the flushOnContextSwitch ablation, section 4.7). */
     Counter ctxswFlushAborts;
+    /** Per-core snoop probes the sharer-filter directory skipped. */
+    Counter snoopsFiltered;
     /// @}
 
   private:
@@ -255,6 +258,46 @@ class MemSystem
      */
     void restoreWords(CacheLine &line, const TxMark &mark);
 
+    /** @name Sharer-filter directory
+     *
+     * One FlatMap per interconnect bank, mapping a block address to a
+     * 64-bit mask of cores whose L2 *may* hold the block. The mask is
+     * conservative: bits are set at the single line-install site
+     * (processGrant) and cleared lazily — at invalidation sites and
+     * self-healing on any probe that finds no line — so a stale bit
+     * only costs one wasted probe, never a missed snoop. Iterating set
+     * bits in ascending core order visits exactly the cores the
+     * broadcast loops visited, so simulated results are unchanged; the
+     * filter only removes guaranteed-miss probes.
+     */
+    /// @{
+    /** Mask of cores that may cache @p block (0 when untracked). */
+    std::uint64_t dirSharers(Addr block) const;
+    /** Record that core @p c now caches @p block. */
+    void dirSet(CoreId c, Addr block);
+    /** Record that core @p c no longer caches @p block. */
+    void dirClear(CoreId c, Addr block);
+    /// @}
+
+    /** @name Per-transaction mark filter
+     *
+     * Conservative mask of cores whose caches may hold marks (or L1
+     * tx entries) of a transaction. Marks enter a core's cache only on
+     * that core's own accesses (setMarks, migrated/fill-foreign mark
+     * merges in processGrant), so the bit is set there; the commit,
+     * abort, and tx-flush clear paths then scan only the masked cores'
+     * caches instead of every core's — the visited lines (and hence
+     * every simulated result) are identical, the full-machine sweep
+     * cost is not. Never cleared while the transaction lives except by
+     * the clear paths themselves, which remove every mark they cover.
+     */
+    /// @{
+    /** Record that core @p c's caches may hold marks of @p tx. */
+    void noteTxCore(TxId tx, CoreId c);
+    /** Conservative mask of cores holding marks of @p tx. */
+    std::uint64_t txCoreMask(TxId tx) const;
+    /// @}
+
     const SystemParams params_;
     EventQueue &eq_;
     PhysMem &phys_;
@@ -267,6 +310,12 @@ class MemSystem
     DramModel dram_;
     std::vector<std::unique_ptr<L1Filter>> l1_;
     std::vector<std::unique_ptr<CacheArray>> l2_;
+
+    /** Sharer-filter directory, one partition per interconnect bank. */
+    std::vector<FlatMap<Addr, std::uint64_t>> dir_;
+
+    /** Per-transaction mark filter (see noteTxCore). */
+    FlatMap<TxId, std::uint64_t> tx_cores_;
 
     /** True while flushTxLines runs (abort-cause attribution). */
     bool in_tx_flush_ = false;

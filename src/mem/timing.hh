@@ -22,45 +22,101 @@ namespace ptm
 {
 
 /**
- * The on-chip snoopy bus. One coherence transaction occupies the bus at
+ * The on-chip interconnect: N independently-arbitrated banks selected
+ * by block address (power of two; 1 reproduces the paper's single
+ * snoopy bus bit-exactly). One coherence transaction occupies a bank at
  * a time; the minimum round trip (arbitration + snoop + response) is
- * busLatency cycles.
+ * busLatency cycles. Each bank keeps its own reservation timeline
+ * (grant queue), so transactions to disjoint banks are granted in
+ * parallel while same-bank transactions stay FIFO — coherence order is
+ * per-bank grant order, which suffices because conflict detection is
+ * per-block and a block maps to exactly one bank.
  */
 class BusModel
 {
   public:
-    explicit BusModel(Tick latency) : latency_(latency) {}
+    explicit BusModel(Tick latency, unsigned banks = 1)
+        : latency_(latency),
+          bank_mask_(std::max(1u, banks) - 1),
+          banks_(std::max(1u, banks))
+    {}
 
     /** Minimum round-trip latency of one transaction. */
     Tick latency() const { return latency_; }
 
+    /** Number of interconnect banks. */
+    unsigned numBanks() const { return unsigned(banks_.size()); }
+
+    /** The bank serving block-aligned address @p block. */
+    unsigned
+    bankOf(Addr block) const
+    {
+        return unsigned((block >> blockShift) & bank_mask_);
+    }
+
     /**
-     * Reserve the bus for one transaction of @p occupancy cycles
-     * (defaults to the full round trip) starting at or after @p now.
+     * Reserve the bank serving @p block for one transaction of
+     * @p occupancy cycles (defaults to the full round trip) starting
+     * at or after @p now.
      * @return the tick at which the transaction is granted.
      */
     Tick
-    reserve(Tick now, Tick occupancy = 0)
+    reserve(Addr block, Tick now, Tick occupancy = 0)
     {
         if (occupancy == 0)
             occupancy = latency_;
-        Tick grant = std::max(now, free_at_);
-        free_at_ = grant + occupancy;
-        ++transactions_;
-        busy_cycles_ += occupancy;
+        Bank &b = banks_[bankOf(block)];
+        Tick grant = std::max(now, b.free_at);
+        b.free_at = grant + occupancy;
+        ++b.transactions;
+        b.busy_cycles += occupancy;
         return grant;
     }
 
-    /** Statistics: total transactions granted. */
-    std::uint64_t transactions() const { return transactions_; }
-    /** Statistics: total cycles the bus was occupied. */
-    std::uint64_t busyCycles() const { return busy_cycles_; }
+    /** Statistics: total transactions granted (all banks). */
+    std::uint64_t
+    transactions() const
+    {
+        std::uint64_t n = 0;
+        for (const Bank &b : banks_)
+            n += b.transactions;
+        return n;
+    }
+
+    /** Statistics: total cycles any bank was occupied. */
+    std::uint64_t
+    busyCycles() const
+    {
+        std::uint64_t n = 0;
+        for (const Bank &b : banks_)
+            n += b.busy_cycles;
+        return n;
+    }
+
+    /** Statistics: transactions granted by bank @p i. */
+    std::uint64_t bankTransactions(unsigned i) const
+    {
+        return banks_[i].transactions;
+    }
+
+    /** Statistics: cycles bank @p i was occupied. */
+    std::uint64_t bankBusyCycles(unsigned i) const
+    {
+        return banks_[i].busy_cycles;
+    }
 
   private:
+    /** One bank's reservation timeline and occupancy accounting. */
+    struct Bank
+    {
+        Tick free_at = 0;
+        std::uint64_t transactions = 0;
+        std::uint64_t busy_cycles = 0;
+    };
+
     Tick latency_;
-    Tick free_at_ = 0;
-    std::uint64_t transactions_ = 0;
-    std::uint64_t busy_cycles_ = 0;
+    Addr bank_mask_;
+    std::vector<Bank> banks_;
 };
 
 /**

@@ -111,11 +111,16 @@ VtsMetaCache::setCapacity(unsigned entries)
 
 Vts::Vts(const SystemParams &params, EventQueue &eq, PhysMem &phys,
          TxManager &txmgr, FrameAllocator &frames, DramModel &dram)
-    : sptCache(params.sptCacheEntries), tavCache(params.tavCacheEntries),
+    : sptCache(params.sptCacheEntries, params.memBanks),
+      tavCache(params.tavCacheEntries, params.memBanks),
       params_(params), eq_(eq), phys_(phys), txmgr_(txmgr),
       frames_(frames), dram_(dram),
       gran_(params.granularity == Granularity::WordCacheMem),
-      select_(params.tmKind == TmKind::SelectPtm)
+      select_(params.tmKind == TmKind::SelectPtm),
+      supervisor_free_(params.memBanks > 1
+                           ? std::max(1u, params.numCores)
+                           : 1,
+                       0)
 {
     panic_if(params.tmKind != TmKind::SelectPtm &&
                  params.tmKind != TmKind::CopyPtm,
@@ -210,7 +215,7 @@ Tick
 Vts::sptLookupCost(PageNum home, TxId tx)
 {
     bool evicted_dirty = false;
-    bool hit = sptCache.access(home, false, evicted_dirty);
+    bool hit = sptCache.access(home, home, false, evicted_dirty);
     tracer_->record(hit ? TraceEventType::SptHit
                         : TraceEventType::SptMiss,
                     traceNoId, traceNoId, tx, invalidTxId, home);
@@ -234,7 +239,7 @@ Vts::sptLookupCost(PageNum home, TxId tx)
                 ++walked;
                 done = dram_.access(done);
                 bool evd = false;
-                tavCache.access(tavKey(home, t->tx), false, evd);
+                tavCache.access(home, tavKey(home, t->tx), false, evd);
                 if (evd)
                     done = dram_.access(done);
             }
@@ -253,7 +258,7 @@ Tick
 Vts::tavLookupCost(PageNum home, TxId tx, bool mark_dirty)
 {
     bool evicted_dirty = false;
-    bool hit = tavCache.access(tavKey(home, tx), mark_dirty,
+    bool hit = tavCache.access(home, tavKey(home, tx), mark_dirty,
                                evicted_dirty);
     tracer_->record(hit ? TraceEventType::TavHit
                         : TraceEventType::TavMiss,
@@ -727,7 +732,7 @@ Vts::writebackBlock(Addr block_addr, const std::uint8_t *data,
         tracer_->record(TraceEventType::SelFlip, traceNoId, traceNoId,
                         invalidTxId, invalidTxId, page);
         bool evd = false;
-        sptCache.access(page, true, evd);
+        sptCache.access(page, page, true, evd);
         maybeFreeShadow(*e);
     }
     dram_.write(now + lat); // posted write
@@ -840,6 +845,16 @@ Vts::drainAllCleanups()
         finishCleanupNow(id);
 }
 
+unsigned
+Vts::cleanupShardOf(TxId tx) const
+{
+    if (supervisor_free_.size() <= 1)
+        return 0;
+    const Transaction *t = txmgr_.get(tx);
+    return t ? unsigned(t->thread) % unsigned(supervisor_free_.size())
+             : 0;
+}
+
 void
 Vts::startCleanup(TxId tx, bool is_commit)
 {
@@ -859,6 +874,7 @@ Vts::startCleanup(TxId tx, bool is_commit)
     CleanupJob job;
     job.isCommit = is_commit;
     job.startTick = eq_.curTick();
+    job.shard = cleanupShardOf(tx);
     for (TavNode *t = head; t; t = t->nextOfTx)
         job.nodes.push_back(t);
     overflowPagesPerTx.sample(double(job.nodes.size()));
@@ -876,7 +892,7 @@ Vts::cleanupStep(TxId tx)
     CleanupJob &job = jobs_.at(tx);
     TavNode *node = job.nodes[job.next];
 
-    Tick t = std::max(eq_.curTick(), supervisor_free_);
+    Tick t = std::max(eq_.curTick(), supervisor_free_[job.shard]);
     Tick done = dram_.access(t); // read and free the node
     if (job.isCommit && select_ && node->write.any()) {
         done = dram_.write(done); // selection-vector update
@@ -890,7 +906,7 @@ Vts::cleanupStep(TxId tx)
             done = dram_.write(done);
         }
     }
-    supervisor_free_ = done;
+    supervisor_free_[job.shard] = done;
     prof_->charge(job.isCommit ? ProfCharge::CommitCleanup
                                : ProfCharge::AbortCleanup,
                   done - t);
@@ -976,12 +992,12 @@ Vts::processNode(CleanupJob &job, TavNode *node)
         link = &(*link)->nextOnPage;
     panic_if(!*link, "TAV node missing from its page list");
     *link = node->nextOnPage;
-    tavCache.remove(tavKey(node->home, node->tx));
+    tavCache.remove(node->home, tavKey(node->home, node->tx));
 
     refreshPage(e);
     maybeFreeShadow(e);
     bool evd = false;
-    sptCache.access(node->home, true, evd);
+    sptCache.access(node->home, node->home, true, evd);
     tav_arena_.free(node);
 }
 
@@ -1000,7 +1016,7 @@ Vts::pageSwapOut(PageNum home, std::uint64_t slot)
         return;
     SptEntry e = std::move(*p);
     spt_.erase(home);
-    sptCache.remove(home);
+    sptCache.remove(home, home);
     panic_if(e.tavHead,
              "OS swapped out a page with live TAV state");
 

@@ -123,6 +123,96 @@ class VtsMetaCache
     FlatMap<std::uint64_t, std::uint32_t> index_;
 };
 
+/**
+ * A VTS metadata cache partitioned by interconnect bank: one
+ * VtsMetaCache per bank, routed by the home page number, with the
+ * total capacity divided evenly across partitions. With one bank (the
+ * paper configuration) this is a single full-capacity partition and
+ * behaves bit-identically to the unpartitioned cache; with more banks,
+ * each bank's controller slice arbitrates its own metadata cache, so
+ * SPT/TAV lookups to disjoint banks never contend for the same LRU
+ * state. The aggregate hit/miss/dirty-eviction counters live here so
+ * stats wiring is independent of the partition count.
+ */
+class BankedVtsCache
+{
+  public:
+    BankedVtsCache(unsigned entries, unsigned banks)
+        : route_mask_(std::max(1u, banks) - 1)
+    {
+        unsigned n = std::max(1u, banks);
+        unsigned per = std::max(1u, (entries + n - 1) / n);
+        parts_.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            parts_.emplace_back(per);
+    }
+
+    /**
+     * Look up @p key in the partition serving home page @p route;
+     * inserts it on a miss (possibly evicting that partition's LRU).
+     * @return true on hit
+     */
+    bool
+    access(PageNum route, std::uint64_t key, bool mark_dirty,
+           bool &evicted_dirty)
+    {
+        bool hit = part(route).access(key, mark_dirty, evicted_dirty);
+        if (hit)
+            ++hits;
+        else
+            ++misses;
+        if (evicted_dirty)
+            ++dirtyEvictions;
+        return hit;
+    }
+
+    /** Drop @p key from the partition serving @p route. */
+    void remove(PageNum route, std::uint64_t key)
+    {
+        part(route).remove(key);
+    }
+
+    /**
+     * Change the *total* capacity at runtime (chaos cache squeezes),
+     * divided evenly across partitions with normal write-back
+     * accounting for the evictions.
+     */
+    void
+    setCapacity(unsigned entries)
+    {
+        unsigned n = unsigned(parts_.size());
+        unsigned per = std::max(1u, (entries + n - 1) / n);
+        for (VtsMetaCache &p : parts_)
+            p.setCapacity(per);
+    }
+
+    /** Total capacity over all partitions. */
+    unsigned
+    capacity() const
+    {
+        unsigned n = 0;
+        for (const VtsMetaCache &p : parts_)
+            n += p.capacity();
+        return n;
+    }
+
+    /** Number of partitions (= interconnect banks). */
+    unsigned numPartitions() const { return unsigned(parts_.size()); }
+
+    Counter hits;
+    Counter misses;
+    Counter dirtyEvictions;
+
+  private:
+    VtsMetaCache &part(PageNum route)
+    {
+        return parts_[route & route_mask_];
+    }
+
+    PageNum route_mask_;
+    std::vector<VtsMetaCache> parts_;
+};
+
 /** The PTM backend. */
 class Vts : public TmBackend
 {
@@ -245,8 +335,8 @@ class Vts : public TmBackend
     Counter copyBackups;       //!< Copy-PTM home->shadow backups
     Counter stallsSignalled;
     Counter lazyMigrations;    //!< Select-PTM lazy shadow merges
-    VtsMetaCache sptCache;
-    VtsMetaCache tavCache;
+    BankedVtsCache sptCache;
+    BankedVtsCache tavCache;
     /** Supervisor latency of each lazy commit walk (overflowed txs). */
     Distribution commitCleanupLatency{0, 512 * 1000, 32};
     /** Supervisor latency of each lazy abort walk (overflowed txs). */
@@ -270,6 +360,7 @@ class Vts : public TmBackend
         std::vector<TavNode *> nodes;
         std::size_t next = 0;
         Tick startTick = 0; //!< cleanup-latency distributions
+        unsigned shard = 0; //!< supervisor cleanup-queue shard
     };
 
     /** Get-or-create the SPT entry of @p home. */
@@ -349,9 +440,20 @@ class Vts : public TmBackend
     /** Slab allocator for every TAV node this backend creates. */
     TavArena tav_arena_;
 
+    /** Cleanup-queue shard of @p tx (its owning thread, modulo the
+     *  shard count; 0 when running the single paper-config queue). */
+    unsigned cleanupShardOf(TxId tx) const;
+
     unsigned overflowed_live_ = 0;
     std::uint64_t shadow_pages_ = 0;
-    Tick supervisor_free_ = 0;
+    /**
+     * Per-shard supervisor timelines. With --mem-banks 1 (the paper
+     * configuration) a single timeline serializes every cleanup walk,
+     * bit-exactly as before; with a banked interconnect each core's
+     * cleanup queue drains independently, keyed by the transaction's
+     * owning thread.
+     */
+    std::vector<Tick> supervisor_free_;
     std::uint64_t live_dirty_count_ = 0;
     TimeWeighted live_dirty_;
 };

@@ -96,4 +96,29 @@ parseGranularity(const std::string &s, Granularity &out)
     return true;
 }
 
+std::string
+validateParams(const SystemParams &prm)
+{
+    if (prm.numCores == 0)
+        return "numCores must be at least 1 (got 0): pass --cores N "
+               "with 1 <= N <= 64";
+    if (prm.numCores > 64)
+        return "numCores " + std::to_string(prm.numCores) +
+               " exceeds the 64-core limit (sharer-filter masks are "
+               "one 64-bit word): pass --cores N with N <= 64";
+    if (prm.memBanks == 0)
+        return "memBanks must be a non-zero power of two (got 0): "
+               "pass --mem-banks N with N in {1,2,4,...,256}";
+    if ((prm.memBanks & (prm.memBanks - 1)) != 0)
+        return "memBanks must be a power of two (got " +
+               std::to_string(prm.memBanks) +
+               "): block addresses are interleaved with a mask, so "
+               "pass --mem-banks N with N in {1,2,4,...,256}";
+    if (prm.memBanks > 256)
+        return "memBanks " + std::to_string(prm.memBanks) +
+               " exceeds 256: more banks than in-flight requests "
+               "only add idle arbiters; pass --mem-banks N <= 256";
+    return "";
+}
+
 } // namespace ptm

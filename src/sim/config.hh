@@ -215,6 +215,28 @@ struct SystemParams
     /** Minimum round-trip latency of the on-chip snoopy bus. */
     Tick busLatency = 20;
 
+    /**
+     * Number of independently-arbitrated interconnect banks, selected
+     * by block address (power of two). 1 reproduces the paper's single
+     * snoopy bus bit-exactly; larger counts let coherence traffic to
+     * disjoint banks proceed in parallel, which is what lets the
+     * simulated machine scale to 16/32/64 cores. Coherence order
+     * becomes per-bank grant order — sufficient because conflict
+     * detection is per-block and a block maps to exactly one bank.
+     */
+    unsigned memBanks = 1;
+
+    /**
+     * Host-side direct-execution fast-forward: batch up to this many
+     * non-transactional memory/compute ops per event-loop dispatch
+     * when the core has no open transaction and the next pending event
+     * is far enough away that the batch cannot be observed out of
+     * order (conservative lookahead). 0 disables batching (the
+     * default); simulated results are bit-exact either way — only the
+     * host event count changes.
+     */
+    unsigned fastForwardOps = 0;
+
     /** Main-memory access latency (minimum). */
     Tick dramLatency = 200;
     /** Number of memory requests that can be pipelined. */
@@ -323,6 +345,21 @@ struct SystemParams
     /** Hard cap on simulated ticks (0 = unlimited). */
     Tick maxTicks = 0;
 };
+
+/**
+ * Validate the machine-scaling parameters of @p prm. Returns the empty
+ * string when valid, otherwise a human-readable diagnostic naming the
+ * offending option and the accepted range:
+ *
+ *  - numCores must be 1..64 (sharer-filter masks are one 64-bit word);
+ *  - memBanks must be a non-zero power of two (block addresses are
+ *    interleaved with a mask);
+ *  - memBanks must not exceed 256 (beyond that every bank is idle).
+ *
+ * System's constructor calls this and aborts with the message; CLI
+ * front ends call it first to exit with a clean diagnostic instead.
+ */
+std::string validateParams(const SystemParams &prm);
 
 } // namespace ptm
 

@@ -303,12 +303,39 @@ class EventQueue
     }
 
     /**
+     * Tick of the earliest pending live event, or maxTick if none.
+     * During event execution this is the next event *after* the one
+     * running — the conservative lookahead bound of the core's
+     * direct-execution fast-forward: nothing else can execute before
+     * this tick, so effects performed early but logically timestamped
+     * strictly before it are unobservable.
+     */
+    Tick
+    nextEventTick()
+    {
+        skipDead();
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * The tick limit of the innermost run() in progress (maxTick when
+     * unlimited or idle). Fast-forward must not act past it: events
+     * beyond the limit never execute, so neither may batched ops.
+     */
+    Tick
+    runLimit() const
+    {
+        return run_limit_;
+    }
+
+    /**
      * Execute events until the queue drains or @p limit ticks elapse.
      * @return true if the queue drained, false if the limit was hit.
      */
     bool
     run(Tick limit = maxTick)
     {
+        run_limit_ = limit;
         while (!empty()) {
             const Ref &top = heap_.top();
             if (top.when > limit) {
@@ -548,6 +575,7 @@ class EventQueue
     std::vector<Record> records_;
     std::vector<std::uint32_t> free_;
     Tick cur_tick_ = 0;
+    Tick run_limit_ = maxTick;
     std::uint64_t seq_ = 0;
 
     /** Executed-event counters, indexed by priority (always on). */

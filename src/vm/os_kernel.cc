@@ -132,6 +132,17 @@ OsKernel::translate(CoreId core, ProcId proc, Addr vaddr, bool write)
     return r;
 }
 
+std::optional<Addr>
+OsKernel::translateFast(CoreId core, ProcId proc, Addr vaddr)
+{
+    PageNum vpage = pageOf(vaddr);
+    if (!tlbs_[core]->contains(proc, vpage))
+        return std::nullopt;
+    touched_pages_.insert(pageKey(proc, vaddr));
+    PageNum frame = tlbs_[core]->lookup(proc, vpage);
+    return pageBase(frame) + pageOffset(vaddr);
+}
+
 Tick
 OsKernel::handleFault(ProcId proc, PageNum vpage, PageMapping &m)
 {

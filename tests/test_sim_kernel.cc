@@ -269,10 +269,10 @@ TEST(Pcg32, BelowStaysInRange)
 TEST(BusModel, FifoQueueing)
 {
     BusModel bus(20);
-    EXPECT_EQ(bus.reserve(0), 0u);
-    EXPECT_EQ(bus.reserve(0), 20u);  // queued behind the first
-    EXPECT_EQ(bus.reserve(100), 100u);
-    EXPECT_EQ(bus.reserve(105), 120u);
+    EXPECT_EQ(bus.reserve(0x40, 0), 0u);
+    EXPECT_EQ(bus.reserve(0x80, 0), 20u); // one bank: queued behind
+    EXPECT_EQ(bus.reserve(0x40, 100), 100u);
+    EXPECT_EQ(bus.reserve(0xc0, 105), 120u);
     EXPECT_EQ(bus.transactions(), 4u);
 }
 

@@ -23,14 +23,22 @@ host-speed measurements, `--wall` adds a suite-level
 map (one wall time per bench binary run); bench_compare.py never
 reads it, so it can't turn host noise into a gate failure.
 
+`--jobs N` runs up to N bench binaries concurrently. The merged
+document is byte-identical to a serial run: results are folded in the
+fixed BENCHES order regardless of completion order, and each bench's
+rows come from its own private temp file.
+
 Usage:
     bench_runner.py --bench-dir BUILD/bench [--smoke] [--label NAME]
                     [--out FILE] [--only BENCH[,BENCH...]] [--wall]
+                    [--jobs N] [--extra-args "..."]
 """
 
 import argparse
+import concurrent.futures
 import json
 import os
+import shlex
 import subprocess
 import sys
 import tempfile
@@ -48,13 +56,14 @@ BENCHES = [
 ]
 
 
-def run_bench(path, smoke):
+def run_bench(path, smoke, extra_args=()):
     """Run one bench binary; return its parsed ptm-bench-v1 document."""
     fd, tmp = tempfile.mkstemp(suffix=".json", prefix="bench_")
     os.close(fd)
     cmd = [path, "--json", tmp, "--profile"]
     if smoke:
         cmd += ["--scale", "0"]
+    cmd += list(extra_args)
     try:
         proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
                               stderr=subprocess.PIPE, text=True)
@@ -92,7 +101,17 @@ def main():
                     help="record per-bench host wall seconds at suite "
                          "level (same-machine A/B pairs only; never "
                          "compared by bench_compare.py)")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="run up to N bench binaries concurrently "
+                         "(default 1); the merged output is identical "
+                         "to a serial run")
+    ap.add_argument("--extra-args", default="",
+                    help="extra arguments passed to every bench binary "
+                         "(e.g. \"--host-metrics --fast-forward\")")
     args = ap.parse_args()
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
 
     names = BENCHES
     if args.only:
@@ -112,22 +131,44 @@ def main():
     }
     if args.wall:
         suite["wall_seconds"] = {}
+    extra = shlex.split(args.extra_args)
+    paths = {}
     for name in names:
         path = os.path.join(args.bench_dir, name)
         if not os.path.exists(path):
             print(f"error: missing bench binary {path}", file=sys.stderr)
             return 2
+        paths[name] = path
+
+    def one(name):
         print(f"running {name}{' (smoke)' if args.smoke else ''} ...",
               file=sys.stderr)
         start = time.monotonic()
-        try:
-            doc = run_bench(path, args.smoke)
-        except RuntimeError as e:
-            print(f"error: {e}", file=sys.stderr)
-            return 1
+        doc = run_bench(paths[name], args.smoke, extra)
+        return doc, round(time.monotonic() - start, 3)
+
+    # Workers only produce (bench -> document); the merge below walks
+    # `names` in declaration order, so the output is deterministic
+    # regardless of completion order.
+    results = {}
+    try:
+        if args.jobs == 1:
+            for name in names:
+                results[name] = one(name)
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=args.jobs) as pool:
+                futs = {name: pool.submit(one, name) for name in names}
+                for name in names:
+                    results[name] = futs[name].result()
+    except RuntimeError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    for name in names:
+        doc, wall = results[name]
         if args.wall:
-            suite["wall_seconds"][name] = round(
-                time.monotonic() - start, 3)
+            suite["wall_seconds"][name] = wall
         if not suite["git"]:
             suite["git"] = doc.get("git", "")
         suite["benches"][name] = doc.get("rows", [])

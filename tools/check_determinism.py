@@ -23,6 +23,7 @@ from pathlib import Path
 
 # Host-dependent manifest fields; everything else must match.
 IGNORED_MANIFEST_FIELDS = ("wall_seconds", "git", "events_per_sec",
+                          "sim_events_per_sec",
                           "sim_ticks_per_wall_sec")
 
 DEFAULT_CONFIGS = [
@@ -35,6 +36,10 @@ DEFAULT_CONFIGS = [
      "--profile"],
     ["--workload", "water", "--system", "vtm", "--scale", "0",
      "--swap"],
+    # Wide machine: banked interconnect + direct-execution fast-forward
+    # must stay deterministic too.
+    ["--workload", "fft", "--system", "sel-ptm", "--scale", "0",
+     "--cores", "16", "--mem-banks", "4", "--fast-forward"],
 ]
 
 

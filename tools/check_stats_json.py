@@ -29,6 +29,7 @@ MANIFEST_FIELDS = {
     "verified": bool,
     "wall_seconds": (int, float),
     "events_per_sec": (int, float),
+    "sim_events_per_sec": (int, float),
     "sim_ticks_per_wall_sec": (int, float),
     "git": str,
     "params": dict,

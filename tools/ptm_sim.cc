@@ -84,6 +84,8 @@ main(int argc, char **argv)
     addProfileOptions(opts, prm.profile);
     RobustnessParams robust;
     addRobustnessOptions(opts, robust);
+    MachineParams machine;
+    addMachineOptions(opts, machine);
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
@@ -108,6 +110,12 @@ main(int argc, char **argv)
 
     robust.applyTo(prm);
     obs.applyTo(prm);
+    machine.applyTo(prm);
+
+    if (std::string err = validateParams(prm); !err.empty()) {
+        std::fprintf(stderr, "ptm_sim: %s\n", err.c_str());
+        return 2;
+    }
 
     if (list_stats) {
         System sys(prm);
@@ -283,6 +291,8 @@ main(int argc, char **argv)
         m.wallSeconds = wall;
         m.eventsPerSec =
             wall > 0 ? s.value("events.executed") / wall : 0;
+        m.simEventsPerSec =
+            r.wallSeconds > 0 ? r.eventsExecuted / r.wallSeconds : 0;
         m.simTicksPerWallSec = wall > 0 ? double(r.cycles) / wall : 0;
         m.params = &prm;
         std::string err;
