@@ -59,7 +59,7 @@ Result
 run(TmKind kind, unsigned abort_every, const TraceParams &trace,
     const ProfileParams &profile, const RobustnessParams &robust,
     const MachineParams &machine, const ObservabilityParams &obs,
-    int scale)
+    const PersistParams &persist, int scale)
 {
     SystemParams p;
     p.tmKind = kind;
@@ -68,6 +68,8 @@ run(TmKind kind, unsigned abort_every, const TraceParams &trace,
     robust.applyTo(p);
     machine.applyTo(p);
     obs.applyTo(p);
+    if (p.tmKind != TmKind::Serial && p.tmKind != TmKind::Locks)
+        p.persist = persist;
     p.l1Bytes = 1024;
     p.l2Bytes = 8 * 1024; // 128 lines: transactions overflow
     p.l2Assoc = 2;
@@ -183,6 +185,8 @@ main(int argc, char **argv)
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
+    PersistParams persist;
+    addPersistOptions(opts, persist);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -192,13 +196,22 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Only one machine-readable stream can own stdout.
-    if (json_path == "-" && trace.path == "-") {
-        std::fprintf(stderr, "bench_ablation_commit_abort: --json - "
-                             "and --trace - cannot both write to "
-                             "stdout\n");
+    // Crash dumps are single-run artifacts; a sweep would overwrite
+    // one per configuration. Durable-commit policy knobs still apply.
+    if (!persist.walPath.empty() || persist.crashAtTick) {
+        std::fprintf(stderr,
+                     "bench_ablation_commit_abort: --wal-file / --crash-at-tick are "
+                     "single-run options; use ptm_sim\n");
         return 2;
     }
+
+    if (!checkOutputSinks("bench_ablation_commit_abort",
+                          {{"--json", json_path},
+                           {"--trace", trace.path},
+                           {"--timeseries", obs.timeseries.path},
+                           {"--postmortem",
+                            obs.forensics.postmortemPath}}))
+        return 2;
 
     // Machine-readable output on stdout moves the human tables and
     // inform() status lines to stderr so the stream stays parseable.
@@ -221,7 +234,7 @@ main(int argc, char **argv)
     for (unsigned every : {0u, 4u, 2u}) {
         for (TmKind k : kinds) {
             Result r = run(k, every, trace, profile, robust, machine,
-                           obs, scale);
+                           obs, persist, scale);
             violations += r.auditViolations;
             if (!trace.path.empty())
                 captures.push_back(std::move(r.trace));

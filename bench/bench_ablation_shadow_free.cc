@@ -57,7 +57,7 @@ Result
 run(ShadowFreePolicy policy, const TraceParams &trace,
     const ProfileParams &profile, const RobustnessParams &robust,
     const MachineParams &machine, const ObservabilityParams &obs,
-    int scale)
+    const PersistParams &persist, int scale)
 {
     SystemParams p;
     p.tmKind = TmKind::SelectPtm;
@@ -67,6 +67,8 @@ run(ShadowFreePolicy policy, const TraceParams &trace,
     robust.applyTo(p);
     machine.applyTo(p);
     obs.applyTo(p);
+    if (p.tmKind != TmKind::Serial && p.tmKind != TmKind::Locks)
+        p.persist = persist;
     p.swapEnabled = true;
     // Pressure: homes + shadows exceed the frame count at either size.
     p.physFrames = scale ? 360 : 90;
@@ -171,6 +173,8 @@ main(int argc, char **argv)
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
+    PersistParams persist;
+    addPersistOptions(opts, persist);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -180,13 +184,22 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Only one machine-readable stream can own stdout.
-    if (json_path == "-" && trace.path == "-") {
-        std::fprintf(stderr, "bench_ablation_shadow_free: --json - "
-                             "and --trace - cannot both write to "
-                             "stdout\n");
+    // Crash dumps are single-run artifacts; a sweep would overwrite
+    // one per configuration. Durable-commit policy knobs still apply.
+    if (!persist.walPath.empty() || persist.crashAtTick) {
+        std::fprintf(stderr,
+                     "bench_ablation_shadow_free: --wal-file / --crash-at-tick are "
+                     "single-run options; use ptm_sim\n");
         return 2;
     }
+
+    if (!checkOutputSinks("bench_ablation_shadow_free",
+                          {{"--json", json_path},
+                           {"--trace", trace.path},
+                           {"--timeseries", obs.timeseries.path},
+                           {"--postmortem",
+                            obs.forensics.postmortemPath}}))
+        return 2;
 
     // Machine-readable output on stdout moves the human tables and
     // inform() status lines to stderr so the stream stays parseable.
@@ -206,6 +219,7 @@ main(int argc, char **argv)
     for (ShadowFreePolicy pol :
          {ShadowFreePolicy::MergeOnSwap, ShadowFreePolicy::LazyMigrate}) {
         Result r = run(pol, trace, profile, robust, machine, obs,
+                       persist,
                        scale);
         violations += r.auditViolations;
         if (!trace.path.empty())

@@ -60,6 +60,8 @@ main(int argc, char **argv)
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
+    PersistParams persist;
+    addPersistOptions(opts, persist);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -69,12 +71,22 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Only one machine-readable stream can own stdout.
-    if (json_path == "-" && trace.path == "-") {
-        std::fprintf(stderr, "bench_kv: --json - and --trace - "
-                             "cannot both write to stdout\n");
+    // Crash dumps are single-run artifacts; a sweep would overwrite
+    // one per configuration. Durable-commit policy knobs still apply.
+    if (!persist.walPath.empty() || persist.crashAtTick) {
+        std::fprintf(stderr,
+                     "bench_kv: --wal-file / --crash-at-tick are "
+                     "single-run options; use ptm_sim\n");
         return 2;
     }
+
+    if (!checkOutputSinks("bench_kv",
+                          {{"--json", json_path},
+                           {"--trace", trace.path},
+                           {"--timeseries", obs.timeseries.path},
+                           {"--postmortem",
+                            obs.forensics.postmortemPath}}))
+        return 2;
     bool machine_stdout = json_path == "-" || trace.path == "-";
     if (machine_stdout)
         setInformToStderr(true);
@@ -110,6 +122,7 @@ main(int argc, char **argv)
             prm.numCores = threads;
             prm.trace = trace;
             prm.profile = profile;
+            prm.persist = persist;
             robust.applyTo(prm);
             machine.applyTo(prm);
             obs.applyTo(prm);
@@ -218,6 +231,24 @@ main(int argc, char **argv)
                 .field("spt_hit_rate", spt_rate)
                 .field("tav_hit_rate", tav_rate)
                 .field("verified", r.verified);
+            // Durable-commit metrics exist only under --durability
+            // wal, so volatile baseline rows are byte-identical and
+            // bench_compare gates the new fields only when both runs
+            // carried them.
+            if (persist.enabled()) {
+                const StatValue *pw =
+                    s.find("persist.commit_persist_wait");
+                rec.field("commits_persisted",
+                          s.counter("persist.commits_persisted"))
+                    .field("wal_log_bytes",
+                           s.counter("persist.log_bytes"))
+                    .field("wal_stall_ticks",
+                           s.counter("persist.flush_stall_ticks"))
+                    .field("p50_durable_commit_latency",
+                           pw ? pw->dist.percentile(50) : 0.0)
+                    .field("p99_durable_commit_latency",
+                           pw ? pw->dist.percentile(99) : 0.0);
+            }
             // Host throughput is machine-dependent: emitted only on
             // request so checked-in baselines compare across hosts.
             if (machine.hostMetrics)

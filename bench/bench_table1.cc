@@ -77,6 +77,8 @@ main(int argc, char **argv)
     ObservabilityParams obs;
     addObservabilityOptions(opts, obs);
     addForensicsOptions(opts, obs.forensics);
+    PersistParams persist;
+    addPersistOptions(opts, persist);
     switch (opts.parse(argc, argv)) {
       case CliStatus::Ok:
         break;
@@ -86,12 +88,22 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Only one machine-readable stream can own stdout.
-    if (json_path == "-" && trace.path == "-") {
-        std::fprintf(stderr, "bench_table1: --json - and --trace - "
-                             "cannot both write to stdout\n");
+    // Crash dumps are single-run artifacts; a sweep would overwrite
+    // one per configuration. Durable-commit policy knobs still apply.
+    if (!persist.walPath.empty() || persist.crashAtTick) {
+        std::fprintf(stderr,
+                     "bench_table1: --wal-file / --crash-at-tick are "
+                     "single-run options; use ptm_sim\n");
         return 2;
     }
+
+    if (!checkOutputSinks("bench_table1",
+                          {{"--json", json_path},
+                           {"--trace", trace.path},
+                           {"--timeseries", obs.timeseries.path},
+                           {"--postmortem",
+                            obs.forensics.postmortemPath}}))
+        return 2;
 
     // Machine-readable output on stdout moves the human tables and
     // inform() status lines to stderr so the stream stays parseable.
@@ -115,6 +127,7 @@ main(int argc, char **argv)
         prm.tmKind = TmKind::SelectPtm;
         prm.trace = trace;
         prm.profile = profile;
+        prm.persist = persist;
         robust.applyTo(prm);
         machine.applyTo(prm);
         obs.applyTo(prm);
@@ -176,6 +189,7 @@ main(int argc, char **argv)
         prm.numCores = cores;
         prm.trace = trace;
         prm.profile = profile;
+        prm.persist = persist;
         robust.applyTo(prm);
         machine.applyTo(prm);
         obs.applyTo(prm);

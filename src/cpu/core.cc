@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "persist/wal.hh"
 #include "sim/flightrec.hh"
 #include "sim/logging.hh"
 #include "vm/os_kernel.hh"
@@ -416,8 +417,19 @@ Core::runOp(ThreadCtx &t, const MemYield &op)
     bool is_cas = op.kind == OpKind::Cas;
     XlatResult xr =
         os_.translate(id_, t.proc, op.vaddr, is_write || is_cas);
-    if ((is_write || is_cas) && t.curTx != invalidTxId)
+    if ((is_write || is_cas) && t.curTx != invalidTxId) {
         os_.noteTxWrite(t.proc, op.vaddr);
+        if (wal_) {
+            // The redo log records absolute committed values; a CAS's
+            // committed value is resolution-dependent, and no
+            // durability-eligible workload issues one transactionally
+            // (validateParams rejects the lock-based modes).
+            panic_if(is_cas, "durable logging cannot capture a "
+                             "transactional CAS");
+            wal_->noteStore(t.curTx, op.vaddr,
+                            std::uint32_t(op.value));
+        }
+    }
 
     Access acc;
     acc.core = id_;
@@ -521,9 +533,25 @@ Core::tryCommit(ThreadCtx &t)
     if (r == CommitResult::Done) {
         // The attempt's pending execution ticks were useful work.
         prof_->resolveTx(id_, true);
+        Tick persist_wait =
+            wal_ ? wal_->commitTx(t.curTx, t.id, eq_.curTick()) : 0;
         t.commitPending = false;
         t.curTx = invalidTxId;
         ++t.stepIdx;
+        if (persist_wait) {
+            // Durable commit: the thread stalls until its record's
+            // ordered flush drains from the log device.
+            prof_->set(id_, ProfBucket::TxPersist);
+            std::uint64_t ep = t.epoch;
+            eq_.scheduleIn(persist_wait, EventPriority::Cpu,
+                           [this, &t, ep] {
+                               if (t.epoch != ep)
+                                   return;
+                               profExec(t);
+                               scheduleStep(1);
+                           });
+            return;
+        }
         profExec(t);
         scheduleStep(1);
         return;
@@ -552,6 +580,10 @@ Core::handleAbort(ThreadCtx &t)
     ++t.epoch;
     t.coro.destroy();
     t.coroLive = false;
+    if (wal_)
+        // Nothing aborted ever reaches the log; the attempt's captured
+        // redo set is dropped (re-execution captures a fresh one).
+        wal_->discard(t.curTx);
 
     // The aborted attempt's execution was wasted; collapsing the phase
     // stack also cleans up any stall span whose pop the epoch bump

@@ -30,6 +30,7 @@ namespace ptm
 {
 
 class OsKernel;
+class WalManager;
 
 class Core
 {
@@ -63,6 +64,9 @@ class Core
 
     /** Attach the flight recorder (System wiring; off = nullptr). */
     void setFlightRec(FlightRecorder *f) { fr_ = f; }
+
+    /** Attach the write-ahead log (System wiring; volatile = nullptr). */
+    void setWal(WalManager *w) { wal_ = w; }
 
     /** @name Statistics */
     /// @{
@@ -160,6 +164,7 @@ class Core
 
     CycleProfiler *prof_ = &CycleProfiler::nil();
     FlightRecorder *fr_ = nullptr;
+    WalManager *wal_ = nullptr;
 
     /** Per-core stream for the randomized abort-restart backoff. */
     Pcg32 backoff_rng_;

@@ -510,6 +510,79 @@ addObservabilityOptions(OptionTable &opts, ObservabilityParams &prm)
 }
 
 void
+addPersistOptions(OptionTable &opts, PersistParams &dest)
+{
+    opts.option("durability", "MODE",
+                "commit durability: off (volatile TM) | wal (redo-log "
+                "every commit, stall for the ordered flush)",
+                [&dest](const std::string &v) {
+                    return parseDurability(v, dest.policy);
+                });
+    opts.option("wal-file", "FILE",
+                "serialize the surviving persistent image (checkpoint "
+                "+ durable log prefix) to FILE at end of run; the "
+                "input of ptm_sim --recover",
+                [&dest](const std::string &v) {
+                    if (v.empty() || v == "-")
+                        return false;
+                    dest.walPath = v;
+                    return true;
+                });
+    opts.option("crash-at-tick", "TICK",
+                "cut the run at TICK with no drain or cleanup "
+                "(0 = none); torn log tails survive into the dump",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n))
+                        return false;
+                    dest.crashAtTick = Tick(n);
+                    return true;
+                });
+    opts.option("wal-flush-latency", "TICKS",
+                "ordered-flush base latency charged per durable "
+                "commit (default 300)",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n))
+                        return false;
+                    dest.flushLatency = Tick(n);
+                    return true;
+                });
+    opts.option("wal-bytes-per-cycle", "N",
+                "log-device write bandwidth in bytes per cycle "
+                "(default 16)",
+                [&dest](const std::string &v) {
+                    std::uint64_t n;
+                    if (!parseU64(v, n) || n == 0)
+                        return false;
+                    dest.logBytesPerCycle = n;
+                    return true;
+                });
+}
+
+bool
+checkOutputSinks(const char *prog,
+                 const std::vector<OutputSink> &sinks)
+{
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+        const OutputSink &a = sinks[i];
+        if (a.path.empty() || a.path == "stderr")
+            continue;
+        for (std::size_t j = i + 1; j < sinks.size(); ++j) {
+            const OutputSink &b = sinks[j];
+            if (a.path != b.path)
+                continue;
+            std::fprintf(stderr,
+                         "%s: %s and %s cannot both write to %s\n",
+                         prog, a.flag.c_str(), b.flag.c_str(),
+                         a.path == "-" ? "stdout" : "the same file");
+            return false;
+        }
+    }
+    return true;
+}
+
+void
 addWorkloadOptions(OptionTable &opts, WorkloadOptList &dest)
 {
     opts.option("wl-opt", "KEY=VALUE",
@@ -561,6 +634,18 @@ chaosReproArgs(const SystemParams &prm)
     if (prm.audit.enabled)
         s += strprintf(" --audit --audit-interval %llu",
                        (ull)prm.audit.interval);
+    if (prm.persist.enabled()) {
+        s += strprintf(" --durability %s --wal-flush-latency %llu "
+                       "--wal-bytes-per-cycle %llu",
+                       durabilityName(prm.persist.policy),
+                       (ull)prm.persist.flushLatency,
+                       (ull)prm.persist.logBytesPerCycle);
+        // An explicit cut replays exactly; a chaos-drawn cut is
+        // re-derived from the chaos seed already echoed above.
+        if (prm.persist.crashAtTick)
+            s += strprintf(" --crash-at-tick %llu",
+                           (ull)prm.persist.crashAtTick);
+    }
     if (prm.contention.randomBackoff)
         s += " --backoff";
     if (prm.contention.retryBudget)

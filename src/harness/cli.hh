@@ -289,6 +289,56 @@ void addForensicsOptions(OptionTable &opts, ForensicsParams &dest);
 void addRobustnessOptions(OptionTable &opts, RobustnessParams &dest);
 
 /**
+ * Register the shared persistence options storing into @p dest:
+ *
+ *  - `--durability MODE` selects the commit-durability policy: `off`
+ *    (volatile TM, bit-identical to builds without the flag) or `wal`
+ *    (every commit appends a redo record to a modeled write-ahead log
+ *    and stalls for the ordered flush);
+ *  - `--wal-file FILE` serializes the surviving persistent image
+ *    (workload checkpoint + durable log prefix) at end of run, the
+ *    input of `ptm_sim --recover`;
+ *  - `--crash-at-tick TICK` cuts the run at TICK with no drain or
+ *    cleanup, leaving torn log tails (the chaos `crash` plan bit draws
+ *    a seeded random tick instead);
+ *  - `--wal-flush-latency TICKS` / `--wal-bytes-per-cycle N` set the
+ *    ordered-flush base cost and log-device bandwidth.
+ *
+ * None of the value options imply `--durability wal`: validateParams
+ * rejects a dump path or crash tick on a volatile run so a sweep
+ * script cannot silently produce nothing. Used by ptm_sim and every
+ * bench_* front end so the durability surface is identical everywhere.
+ */
+void addPersistOptions(OptionTable &opts, PersistParams &dest);
+
+/**
+ * One machine-readable output sink of a front end, for collision
+ * checking. @ref path uses the post-parse spelling: "" when the sink
+ * is unused, "-" for stdout (--stats-json / --trace / --json), the
+ * literal "stderr" for streams that default there (--timeseries,
+ * --postmortem), anything else a file path.
+ */
+struct OutputSink
+{
+    std::string flag; //!< option spelling for diagnostics ("--trace")
+    std::string path; //!< "", "-", "stderr", or a file path
+};
+
+/**
+ * Refuse colliding output sinks: at most one sink may own stdout, and
+ * no two sinks may name the same file (paths are compared as strings —
+ * the streams are written at different times, so a shared path would
+ * silently clobber the earlier output). Any number of sinks may share
+ * stderr: those streams are line-oriented and interleave safely.
+ *
+ * @return true when all sinks are distinct; otherwise prints one
+ *         "PROG: FLAG1 and FLAG2 cannot both write to ..." diagnostic
+ *         to stderr and returns false (callers exit 2 — bad usage).
+ */
+bool checkOutputSinks(const char *prog,
+                      const std::vector<OutputSink> &sinks);
+
+/**
  * Register the shared workload-plugin options storing into @p dest:
  *
  *  - `--wl-opt KEY=VALUE` (repeatable; later duplicates win) collects
@@ -311,8 +361,10 @@ void printWorkloadList();
 /**
  * The reproducer argument string for @p prm ("--seed N --chaos
  * --chaos-seed M --chaos-plan ... --audit"): every robustness-relevant
- * option needed to replay a failing chaos run. Printed alongside audit
- * violations and workload-verification failures.
+ * option needed to replay a failing chaos run, including the
+ * durability policy and crash cut when the persistence domain is on.
+ * Printed alongside audit violations and workload-verification
+ * failures.
  */
 std::string chaosReproArgs(const SystemParams &prm);
 

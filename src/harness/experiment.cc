@@ -60,7 +60,12 @@ runWorkload(const std::string &workload_name, SystemParams params,
     r.snapshot = sys.snapshot();
     r.eventsExecuted = r.snapshot.value("events.executed");
     r.stats = sys.stats();
-    r.verified = wl->verify(sys);
+    r.crashed = sys.crashed();
+    if (r.crashed)
+        r.crashTick = sys.crashTick();
+    // A crashed run has no final state to verify in-process; recovery
+    // replays the dump and verifies the committed prefix instead.
+    r.verified = !r.crashed && wl->verify(sys);
     r.profile = sys.profiler().snapshot();
     r.host = sys.eq().hostProfile();
     r.auditViolations = sys.auditor().violations();
@@ -76,7 +81,38 @@ runWorkload(const std::string &workload_name, SystemParams params,
         r.trace = captureTrace(sys.tracer(),
                                workload_name + "/" +
                                    tmKindName(params.tmKind));
-    if (!r.verified)
+
+    if (const WalManager *wal = sys.wal()) {
+        r.walDurableBytes =
+            r.crashed ? wal->durableBytesAt(sys.crashTick())
+                      : wal->log().size();
+        if (!params.persist.walPath.empty()) {
+            fatal_if(!wl->persistSupported(),
+                     "--wal-file: workload %s cannot emit a durable "
+                     "checkpoint (persistSupported() is false)",
+                     workload_name.c_str());
+            WalDump d;
+            d.tmKind = std::uint32_t(params.tmKind);
+            d.threads = wl->config().threads;
+            d.seed = params.seed;
+            d.crashTick = r.crashed ? sys.crashTick() : 0;
+            d.endTick = r.cycles;
+            d.workload = workload_name;
+            d.options = wl->config().options.items();
+            wl->persistCheckpoint(
+                [&d](Addr vbase, const std::vector<std::uint32_t> &w) {
+                    d.checkpoint.push_back({vbase, w});
+                });
+            d.logBytesTotal = wal->log().size();
+            d.log.assign(wal->log().begin(),
+                         wal->log().begin() + r.walDurableBytes);
+            std::string err;
+            if (!writeWalDump(params.persist.walPath, d, &err))
+                fatal("--wal-file: %s", err.c_str());
+        }
+    }
+
+    if (!r.verified && !r.crashed)
         warn("%s/%s produced a wrong result", workload_name.c_str(),
              tmKindName(params.tmKind));
     return r;

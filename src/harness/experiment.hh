@@ -78,6 +78,16 @@ struct ExperimentResult
      */
     ForensicsSnapshot forensics;
     /**
+     * The run stopped at an injected crash cut (--crash-at-tick or the
+     * chaos crash fault; requires --durability wal). A crashed run is
+     * never verified in-process — recovery replays the dump instead.
+     */
+    bool crashed = false;
+    /** The crash-cut tick (0 when the run completed). */
+    Tick crashTick = 0;
+    /** Durable log-byte prefix at the cut (full log when completed). */
+    std::uint64_t walDurableBytes = 0;
+    /**
      * Host wall-clock seconds spent inside the event loop (the
      * sys.run() span only — workload build and verification excluded)
      * and the events it executed. sim_events_per_sec =

@@ -433,6 +433,17 @@ emitParams(JsonWriter &w, const SystemParams &p)
     w.member("victim_cache_entries", p.victimCacheEntries);
     w.member("flush_on_context_switch", p.flushOnContextSwitch);
     w.member("max_ticks", std::uint64_t(p.maxTicks));
+    // Durability params appear only when the persistence domain is
+    // built, so volatile manifests stay byte-identical to the seed.
+    if (p.persist.enabled()) {
+        w.member("durability", "wal");
+        w.member("wal_flush_latency",
+                 std::uint64_t(p.persist.flushLatency));
+        w.member("wal_bytes_per_cycle", p.persist.logBytesPerCycle);
+        if (p.persist.crashAtTick)
+            w.member("crash_at_tick",
+                     std::uint64_t(p.persist.crashAtTick));
+    }
     w.endObject();
 }
 

@@ -163,6 +163,34 @@ System::System(const SystemParams &params)
             };
     }
 
+    if (params_.persist.enabled()) {
+        wal_ = std::make_unique<WalManager>(params_.persist,
+                                            params_.tmKind);
+        wal_->setTracer(&tracer_);
+        if (params_.profile.enabled)
+            wal_->setProfiler(&profiler_);
+        for (auto &c : cores_)
+            c->setWal(wal_.get());
+    }
+
+    // The crash cut: an explicit tick wins; otherwise the chaos crash
+    // fault draws one from the injector's seeded stream, so a
+    // (chaos seed, plan) pair replays the same power loss.
+    crash_tick_ = params_.persist.crashAtTick;
+    if (chaos_.planned(ChaosFault::Crash)) {
+        if (!wal_) {
+            warn("chaos crash fault needs --durability wal to have "
+                 "anything to recover; skipping the cut");
+        } else if (crash_tick_ == 0) {
+            // Draw from a span short enough to land inside typical
+            // runs (a draw past the natural end is a no-op cut).
+            Tick span = params_.maxTicks ? params_.maxTicks
+                                         : Tick(1) << 20;
+            span = std::min<Tick>(span, 1u << 20);
+            crash_tick_ = 1 + chaos_.rng().below(std::uint32_t(span));
+        }
+    }
+
     wireHooks();
     regStats();
 }
@@ -179,6 +207,10 @@ System::regStats()
     sys.addScalar("hit_tick_limit",
                   [this] { return hit_limit_ ? 1.0 : 0.0; },
                   "1 if the run stopped at params.maxTicks");
+    if (params_.persist.enabled())
+        sys.addScalar("crashed",
+                      [this] { return crashed_ ? 1.0 : 0.0; },
+                      "1 if an injected crash cut the run short");
     sys.addScalar("mem_ops", [this] {
         std::uint64_t n = 0;
         for (const auto &c : cores_)
@@ -240,6 +272,8 @@ System::regStats()
         auditor_.regStats(registry_);
     if (flightrec_)
         flightrec_->regStats(registry_);
+    if (wal_)
+        wal_->regStats(registry_);
 }
 
 System::~System() = default;
@@ -486,7 +520,8 @@ System::injectChaos()
           break;
       }
       case ChaosFault::CleanupDelay:
-        return; // polled at cleanup start, never scheduled
+      case ChaosFault::Crash:
+        return; // polled / drawn once at startup, never scheduled
     }
     tracer_.record(TraceEventType::ChaosInject, traceNoId, traceNoId,
                    victim, invalidTxId, f);
@@ -521,9 +556,21 @@ System::run()
     os_.startTimers();
     os_.kickIdleCores();
     Tick limit = params_.maxTicks ? params_.maxTicks : maxTick;
+    if (crash_tick_ != 0 && crash_tick_ < limit)
+        limit = crash_tick_;
     bool drained = eq_.run(limit);
-    hit_limit_ = !drained;
-    if (!drained) {
+    crashed_ = !drained && crash_tick_ != 0 &&
+               eq_.curTick() >= crash_tick_;
+    hit_limit_ = !drained && !crashed_;
+    if (crashed_) {
+        // Injected power loss: the machine simply stops. Nothing is
+        // drained, settled, or audited — the only state a recovery may
+        // rely on is the durable log prefix at the cut.
+        ++chaos_.crashCuts;
+        tracer_.record(TraceEventType::CrashCut, traceNoId, traceNoId,
+                       invalidTxId, invalidTxId, eq_.curTick(),
+                       wal_ ? wal_->durableBytesAt(eq_.curTick()) : 0);
+    } else if (hit_limit_) {
         warn("simulation hit the tick limit at %llu",
              (unsigned long long)eq_.curTick());
         // Chaos-delayed or still-walking cleanups would otherwise leave
@@ -532,7 +579,7 @@ System::run()
         if (vts_)
             vts_->drainAllCleanups();
     }
-    if (auditor_.attached())
+    if (auditor_.attached() && !crashed_)
         auditor_.checkAll("end", eq_.curTick());
     for (const auto &t : threads_) {
         if (t->state != ThreadState::Done && drained)

@@ -30,6 +30,7 @@
 #include "mem/frame_alloc.hh"
 #include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
+#include "persist/wal.hh"
 #include "ptm/audit.hh"
 #include "ptm/heatmap.hh"
 #include "ptm/vts.hh"
@@ -244,6 +245,22 @@ class System
         return timeseries_.get();
     }
 
+    /**
+     * The write-ahead log, or nullptr unless `--durability wal`
+     * (volatile runs never construct it, keeping them bit-identical).
+     */
+    WalManager *wal() { return wal_.get(); }
+    const WalManager *wal() const { return wal_.get(); }
+
+    /** True if run() stopped at an injected crash cut. */
+    bool crashed() const { return crashed_; }
+
+    /**
+     * The planned crash tick (explicit --crash-at-tick or the chaos
+     * crash fault's seeded draw); 0 when no crash is planned.
+     */
+    Tick crashTick() const { return crash_tick_; }
+
     /** @name Component access (tests, benches) */
     /// @{
     EventQueue &eq() { return eq_; }
@@ -303,9 +320,13 @@ class System
     EventQueue::Handle timeseriesEvent_;
     std::unique_ptr<TmBackend> backend_;
     Vts *vts_ = nullptr; //!< non-owning view of backend_ when PTM
+    std::unique_ptr<WalManager> wal_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<ThreadCtx>> threads_;
     bool hit_limit_ = false;
+    bool crashed_ = false;
+    /** Effective crash-cut tick; 0 = no crash planned. */
+    Tick crash_tick_ = 0;
     /** (tracer series index, registered stat) pairs for the sampler. */
     std::vector<std::pair<unsigned, const StatRef *>> sampled_;
 };

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Crash recovery: rebuild a run's committed state from a crash dump.
+ *
+ * The recovery path is the proof obligation of the persistence domain:
+ * a crash dump (`--wal-file` + `--crash-at-tick` / the chaos crash
+ * fault) holds the store's pre-run baseline image plus the durable
+ * prefix of the redo log, possibly ending in a torn record. Recovery
+ *
+ *  1. parses the dump and replays the log (torn tails are discarded
+ *     with a diagnostic; structurally complete but corrupt records are
+ *     a hard rejection naming the bad byte offset);
+ *  2. loads baseline + replayed image into a fresh simulated system of
+ *     the dump's TM kind and runs the PTM invariant auditor over it;
+ *  3. asks the workload for its committed-prefix oracle — the expected
+ *     state after each thread committed exactly the transactions whose
+ *     records survived — and compares the recovered image word by
+ *     word, bit-exactly.
+ *
+ * A run is recovered iff the log replayed cleanly, the auditor found
+ * no violations, and zero words mismatch. ptm_sim exposes this as
+ * `--recover FILE`; tools/crash_sweep.py drives it across seeds.
+ */
+
+#ifndef PTM_PERSIST_RECOVER_HH
+#define PTM_PERSIST_RECOVER_HH
+
+#include <string>
+
+namespace ptm
+{
+
+/**
+ * Recover and verify the crash dump at @p path, printing
+ * machine-greppable "recover: ..." lines to stdout, ending with
+ * "recover: verified yes|no".
+ *
+ * @return 0 when the recovered image is fully verified, 1 on any
+ *         replay rejection, audit violation or image mismatch.
+ */
+int recoverRun(const std::string &path);
+
+} // namespace ptm
+
+#endif // PTM_PERSIST_RECOVER_HH

@@ -24,6 +24,7 @@ constexpr FaultName kFaults[] = {
     {"swap", ChaosFault::PageSwap},
     {"preempt", ChaosFault::Preempt},
     {"delay", ChaosFault::CleanupDelay},
+    {"crash", ChaosFault::Crash},
 };
 
 } // namespace
@@ -72,9 +73,15 @@ parseChaosPlan(const std::string &s, std::uint32_t &mask)
 std::string
 chaosPlanString(std::uint32_t mask)
 {
-    if ((mask & chaosPlanAll) == chaosPlanAll)
-        return "all";
     std::string out;
+    if ((mask & chaosPlanAll) == chaosPlanAll) {
+        // "all" never covers the run-ending crash fault; append it
+        // explicitly so the repro string round-trips.
+        out = "all";
+        if (mask & chaosFaultMask(ChaosFault::Crash))
+            out += ",crash";
+        return out;
+    }
     for (const auto &e : kFaults) {
         if (!(mask & chaosFaultMask(e.fault)))
             continue;
@@ -89,13 +96,18 @@ void
 ChaosEngine::configure(const ChaosParams &p)
 {
     prm_ = p;
-    active_ = p.enabled && (p.plan & chaosPlanAll) != 0;
+    active_ = p.enabled &&
+              (p.plan & (chaosPlanAll |
+                         chaosFaultMask(ChaosFault::Crash))) != 0;
     if (!active_)
         return;
     rng_ = Pcg32(p.seed, 0x5eed);
     schedulable_.clear();
+    // CleanupDelay is polled at its hook; Crash is a one-shot run cut
+    // drawn at startup. Neither enters the periodic injection draw.
     for (const auto &e : kFaults)
         if (e.fault != ChaosFault::CleanupDelay &&
+            e.fault != ChaosFault::Crash &&
             (p.plan & chaosFaultMask(e.fault)))
             schedulable_.push_back(e.fault);
 }
@@ -138,6 +150,8 @@ ChaosEngine::regStats(StatRegistry &reg)
                  "surprise daemon preemptions injected");
     g.addCounter("cleanup_delays", &cleanupDelays,
                  "commit/abort cleanup walks artificially delayed");
+    g.addCounter("crash_cuts", &crashCuts,
+                 "runs cut by an injected crash (power loss)");
 }
 
 ChaosEngine &

@@ -48,9 +48,18 @@ enum class ChaosFault : std::uint32_t
     Preempt       = 1u << 4,
     /** Delay commit/abort cleanup walks (polled by the VTS). */
     CleanupDelay  = 1u << 5,
+    /**
+     * Cut the run at a seeded random tick (power loss): the event
+     * queue stops mid-flight and only the persistent image survives.
+     * Deliberately excluded from chaosPlanAll — a crash ends the run,
+     * so the standing chaos sweeps would never see an end-of-run
+     * verification; opt in with `--chaos-plan crash` (requires
+     * --durability wal) or use --crash-at-tick directly.
+     */
+    Crash         = 1u << 6,
 };
 
-/** Bitmask with every fault kind enabled. */
+/** Bitmask with every *run-preserving* fault kind enabled. */
 constexpr std::uint32_t chaosPlanAll = 0x3fu;
 
 /** The raw bit of one fault kind. */
@@ -137,6 +146,7 @@ class ChaosEngine
     Counter pageSwaps;
     Counter preempts;
     Counter cleanupDelays;
+    Counter crashCuts;
     /// @}
 
     /** Register the injection counters under the "chaos" group. */

@@ -96,6 +96,30 @@ parseGranularity(const std::string &s, Granularity &out)
     return true;
 }
 
+const char *
+durabilityName(Durability d)
+{
+    switch (d) {
+      case Durability::Off:
+        return "off";
+      case Durability::Wal:
+        return "wal";
+    }
+    return "?";
+}
+
+bool
+parseDurability(const std::string &s, Durability &out)
+{
+    if (s == "off")
+        out = Durability::Off;
+    else if (s == "wal")
+        out = Durability::Wal;
+    else
+        return false;
+    return true;
+}
+
 std::string
 validateParams(const SystemParams &prm)
 {
@@ -118,6 +142,24 @@ validateParams(const SystemParams &prm)
         return "memBanks " + std::to_string(prm.memBanks) +
                " exceeds 256: more banks than in-flight requests "
                "only add idle arbiters; pass --mem-banks N <= 256";
+    if (!prm.persist.enabled()) {
+        if (!prm.persist.walPath.empty())
+            return "--wal-file requires --durability wal (the dump "
+                   "serializes the durable log, and there is none "
+                   "with durability off)";
+        if (prm.persist.crashAtTick != 0)
+            return "--crash-at-tick requires --durability wal: a "
+                   "crash cut is only meaningful when a persistent "
+                   "image survives it";
+    } else {
+        if (prm.tmKind == TmKind::Serial || prm.tmKind == TmKind::Locks)
+            return "--durability wal requires a transactional system "
+                   "(the redo log records transaction commits); got "
+                   "--system " + std::string(tmKindArg(prm.tmKind));
+        if (prm.persist.logBytesPerCycle == 0)
+            return "--wal-bytes-per-cycle must be at least 1 (the log "
+                   "device needs non-zero bandwidth)";
+    }
     return "";
 }
 

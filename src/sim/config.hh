@@ -72,6 +72,20 @@ enum class ShadowFreePolicy
     LazyMigrate,
 };
 
+/** Commit-durability policy of the persistence domain (src/persist). */
+enum class Durability
+{
+    /** Volatile TM: commits survive only in the coherence domain. */
+    Off,
+    /**
+     * Write-ahead redo logging: every commit appends its redo set
+     * (Select-PTM selection-bit flips / Copy-PTM shadow-to-home copy
+     * sets, both carried as absolute word values) to an ordered log
+     * device and stalls until the ordered flush drains.
+     */
+    Wal,
+};
+
 /** Returns a short human-readable label ("Sel-PTM", "VC-VTM", ...). */
 const char *tmKindName(TmKind k);
 
@@ -95,6 +109,47 @@ bool parseTmKind(const std::string &s, TmKind &out);
  * @return false if @p s names no mode (@p out untouched).
  */
 bool parseGranularity(const std::string &s, Granularity &out);
+
+/** Returns the --durability argument spelling ("off", "wal"). */
+const char *durabilityName(Durability d);
+
+/**
+ * Parse a CLI durability spelling ("off", "wal") into @p out.
+ * @return false if @p s names no policy (@p out untouched).
+ */
+bool parseDurability(const std::string &s, Durability &out);
+
+/** Persistence-domain configuration (src/persist/wal.{hh,cc}). */
+struct PersistParams
+{
+    /** Commit-durability policy; Off builds no WalManager at all. */
+    Durability policy = Durability::Off;
+    /**
+     * Crash/recovery dump sink: when set, the surviving persistent
+     * image (workload checkpoint + durable log prefix) is serialized
+     * here at end of run — whether the run completed or was cut by a
+     * crash. Consumed by `ptm_sim --recover` and tools/check_wal.py.
+     */
+    std::string walPath;
+    /**
+     * Crash injection: cut the run at this simulated tick (0 = none).
+     * The cut is a pure run-limit truncation — no drain, no cleanup —
+     * so partially-flushed log appends survive as torn tails.
+     */
+    Tick crashAtTick = 0;
+    /**
+     * Ordered-flush base latency charged per commit: the fence +
+     * persist-barrier cost of draining the commit record to the log
+     * device (HTPM-style ordered flush).
+     */
+    Tick flushLatency = 300;
+    /** Log-device write bandwidth in bytes per cycle. */
+    std::uint64_t logBytesPerCycle = 16;
+
+    /** The persistence domain is built (WalManager constructed). */
+    bool enabled() const { return policy != Durability::Off; }
+};
+
 
 /** PTM invariant-auditor configuration (ptm/audit.{hh,cc}). */
 struct AuditParams
@@ -338,6 +393,9 @@ struct SystemParams
 
     /** Transaction flight recorder / post-mortem (recorder on). */
     ForensicsParams forensics;
+
+    /** Commit durability / crash injection (off by default). */
+    PersistParams persist;
 
     /** Master RNG seed. */
     std::uint64_t seed = 1;

@@ -42,6 +42,8 @@ profBucketName(ProfBucket b)
         return "ctx_switch";
       case ProfBucket::Barrier:
         return "barrier";
+      case ProfBucket::TxPersist:
+        return "tx_persist";
       case ProfBucket::NumBuckets:
         break;
     }
@@ -72,6 +74,8 @@ profChargeName(ProfCharge c)
         return "committed_tx_ticks";
       case ProfCharge::AbortedTxTicks:
         return "aborted_tx_ticks";
+      case ProfCharge::LogFlush:
+        return "log_flush";
       case ProfCharge::NumCharges:
         break;
     }

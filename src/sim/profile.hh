@@ -73,6 +73,7 @@ enum class ProfBucket : std::uint8_t
     TxAbort,   //!< abort cleanup waits and restart backoff
     CtxSwitch, //!< context-switch overhead and daemon occupancy
     Barrier,   //!< barrier arrival cost and barrier waits
+    TxPersist, //!< durable-commit wait for the ordered WAL flush
     NumBuckets
 };
 
@@ -101,6 +102,7 @@ enum class ProfCharge : std::uint8_t
     SwapIo,           //!< page swap-in/swap-out device time
     CommittedTxTicks, //!< wall ticks of attempts that committed
     AbortedTxTicks,   //!< wall ticks of attempts that aborted
+    LogFlush,         //!< WAL log-device busy cycles (ordered drains)
     NumCharges
 };
 

@@ -40,6 +40,9 @@ traceEventTypeName(TraceEventType t)
       case TraceEventType::ChaosInject: return "chaos_inject";
       case TraceEventType::WatchdogTrip: return "watchdog_trip";
       case TraceEventType::StarvationGrant: return "starvation_grant";
+      case TraceEventType::WalAppend: return "wal_append";
+      case TraceEventType::WalFlush: return "wal_flush";
+      case TraceEventType::CrashCut: return "crash_cut";
     }
     return "unknown";
 }
@@ -57,6 +60,7 @@ traceCatName(TraceCat c)
       case TraceCat::Watch: return "watch";
       case TraceCat::Sample: return "sample";
       case TraceCat::Chaos: return "chaos";
+      case TraceCat::Persist: return "persist";
     }
     return "unknown";
 }
@@ -86,7 +90,7 @@ parseTraceCategories(const std::string &s, std::uint32_t &mask)
         {"meta", TraceCat::Meta},     {"page", TraceCat::Page},
         {"cache", TraceCat::Cache},   {"os", TraceCat::Os},
         {"watch", TraceCat::Watch},   {"sample", TraceCat::Sample},
-        {"chaos", TraceCat::Chaos},
+        {"chaos", TraceCat::Chaos},   {"persist", TraceCat::Persist},
     };
 
     std::uint32_t out = 0;

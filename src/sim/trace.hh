@@ -45,10 +45,11 @@ enum class TraceCat : std::uint32_t
     Watch    = 1u << 6, //!< watchpoint hits (--watch-addr)
     Sample   = 1u << 7, //!< periodic counter samples
     Chaos    = 1u << 8, //!< fault injections, watchdog trips
+    Persist  = 1u << 9, //!< WAL appends, ordered flushes, crash cuts
 };
 
 /** Bitmask with every category enabled. */
-constexpr std::uint32_t traceCatAll = 0x1ffu;
+constexpr std::uint32_t traceCatAll = 0x3ffu;
 
 /** The raw bit of one category. */
 constexpr std::uint32_t
@@ -88,11 +89,14 @@ enum class TraceEventType : std::uint8_t
     ChaosInject,     //!< a0: ChaosFault bit; tx: victim (if any)
     WatchdogTrip,    //!< tx: id; a0: consecutive aborts
     StarvationGrant, //!< tx: id; a0: consecutive aborts
+    WalAppend,       //!< tx: id; a0: record bytes; a1: log offset; v: seq
+    WalFlush,        //!< tx: id; a0: stall ticks; a1: drain-end tick
+    CrashCut,        //!< a0: crash tick; a1: durable log bytes
 };
 
 /** Number of distinct TraceEventType values. */
 constexpr unsigned traceEventTypes =
-    unsigned(TraceEventType::StarvationGrant) + 1;
+    unsigned(TraceEventType::CrashCut) + 1;
 
 /** What a watchpoint event observed (Watchpoint payload a1). */
 enum class WatchKind : std::uint8_t
@@ -150,6 +154,10 @@ traceEventCat(TraceEventType t)
       case TraceEventType::WatchdogTrip:
       case TraceEventType::StarvationGrant:
         return TraceCat::Chaos;
+      case TraceEventType::WalAppend:
+      case TraceEventType::WalFlush:
+      case TraceEventType::CrashCut:
+        return TraceCat::Persist;
     }
     return TraceCat::Tx;
 }

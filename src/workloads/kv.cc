@@ -216,6 +216,71 @@ expectedFinal(const Params &p)
     return tags;
 }
 
+std::vector<std::uint32_t>
+expectedAfterCommits(const Params &p,
+                     const std::vector<std::uint64_t> &counts)
+{
+    std::vector<std::uint32_t> tags(p.keys, 0);
+    for (std::uint32_t k = 0; k < p.keys; ++k)
+        if (preloaded(p, k))
+            tags[k] = preloadTag(p.seed, k);
+    for (unsigned t = 0; t < p.threads; ++t) {
+        auto prog = generateProgram(p, t);
+        std::uint64_t committed = t < counts.size() ? counts[t] : 0;
+        std::uint64_t nops =
+            std::min<std::uint64_t>(prog.size(), committed * p.txOps);
+        for (std::size_t i = 0; i < nops; ++i) {
+            const Op &op = prog[i];
+            if (op.type == OpType::Insert)
+                tags[op.key] = valueTag(p.seed, t, i, op.key);
+            else if (op.type == OpType::Delete)
+                tags[op.key] = 0;
+        }
+    }
+    return tags;
+}
+
+void
+forEachWord(const Params &p, const std::vector<std::uint32_t> &tags,
+            const std::function<void(Addr, std::uint32_t)> &emit)
+{
+    Layout lay(p.keys, p.vwords);
+    Addr meta = lay.metaAddr();
+    emit(meta, std::uint32_t(lay.rootAddr()));
+    emit(meta + 4, lay.depth());
+    emit(meta + 8, std::uint32_t(p.keys));
+    emit(meta + 12, Layout::kMagic);
+    for (unsigned lvl = 1; lvl <= lay.depth(); ++lvl) {
+        for (std::uint64_t j = 0; j < lay.innerCount(lvl); ++j) {
+            Addr a = lay.innerAddr(lvl, j);
+            emit(a, lvl);
+            for (unsigned s = 0; s + 1 < Layout::kFanout; ++s)
+                emit(a + (1 + s) * 4,
+                     std::uint32_t(lay.sepValue(lvl, j, s)));
+            for (unsigned c = 0; c < Layout::kFanout; ++c)
+                emit(a + (Layout::kFanout + c) * 4,
+                     std::uint32_t(lay.childAddr(lvl, j, c)));
+        }
+    }
+    for (std::uint64_t l = 0; l < lay.leaves(); ++l) {
+        std::uint32_t occ = 0;
+        for (unsigned s = 0; s < Layout::kLeafKeys; ++s) {
+            std::uint64_t k = l * Layout::kLeafKeys + s;
+            std::uint32_t tag = tags[k];
+            emit(lay.slotAddr(k), tag);
+            if (tag == 0)
+                continue;
+            ++occ;
+            for (unsigned w = 1; w < p.vwords; ++w)
+                emit(lay.slotAddr(k) + w * 4, payloadWord(tag, w));
+        }
+        emit(lay.leafOccAddr(l), occ);
+        emit(lay.leafNextAddr(l),
+             std::uint32_t(l + 1 < lay.leaves() ? lay.leafAddr(l + 1)
+                                                : 0));
+    }
+}
+
 std::size_t
 chooseDropIndex(const std::vector<Op> &program)
 {
@@ -359,61 +424,85 @@ class KvWorkload : public Workload
     bool
     verify(System &sys) const override
     {
-        const auto want = kv::expectedFinal(params_);
-        // Meta page and inner nodes must be exactly as initialized
-        // (the tree structure is static; only leaves change).
-        Addr meta = layout_.metaAddr();
-        if (sys.readWord32(proc_, meta) !=
-                std::uint32_t(layout_.rootAddr()) ||
-            sys.readWord32(proc_, meta + 4) != layout_.depth() ||
-            sys.readWord32(proc_, meta + 8) !=
-                std::uint32_t(params_.keys) ||
-            sys.readWord32(proc_, meta + 12) != Layout::kMagic)
-            return false;
-        for (unsigned lvl = 1; lvl <= layout_.depth(); ++lvl) {
+        // Meta page, inner nodes (static after initialization), leaf
+        // slots/payloads, occupancy counters and the leaf chain — all
+        // through the same walker crash recovery compares with.
+        bool ok = true;
+        kv::forEachWord(params_, kv::expectedFinal(params_),
+                        [&](Addr a, std::uint32_t want) {
+                            if (ok && sys.readWord32(proc_, a) != want)
+                                ok = false;
+                        });
+        return ok;
+    }
+
+    bool persistSupported() const override { return true; }
+
+    void
+    persistCheckpoint(const PersistSink &emit) const override
+    {
+        // The pre-run baseline: exactly the image init() stores, as
+        // three dense regions (structure padding words are zero, like
+        // untouched simulated memory).
+        std::vector<std::uint32_t> tags(params_.keys, 0);
+        for (std::uint32_t k = 0; k < params_.keys; ++k)
+            if (kv::preloaded(params_, k))
+                tags[k] = kv::preloadTag(params_.seed, k);
+
+        emit(layout_.metaAddr(),
+             {std::uint32_t(layout_.rootAddr()), layout_.depth(),
+              std::uint32_t(params_.keys), Layout::kMagic});
+
+        std::vector<std::uint32_t> inner(
+            layout_.innerTotal() * Layout::kInnerWords, 0);
+        for (unsigned lvl = 1; lvl <= layout_.depth(); ++lvl)
             for (std::uint64_t j = 0; j < layout_.innerCount(lvl);
                  ++j) {
-                Addr a = layout_.innerAddr(lvl, j);
-                if (sys.readWord32(proc_, a) != lvl)
-                    return false;
+                std::size_t base =
+                    std::size_t(layout_.innerAddr(lvl, j) -
+                                Layout::kInnerBase) /
+                    4;
+                inner[base] = lvl;
                 for (unsigned s = 0; s + 1 < Layout::kFanout; ++s)
-                    if (sys.readWord32(proc_, a + (1 + s) * 4) !=
-                        std::uint32_t(layout_.sepValue(lvl, j, s)))
-                        return false;
+                    inner[base + 1 + s] =
+                        std::uint32_t(layout_.sepValue(lvl, j, s));
                 for (unsigned c = 0; c < Layout::kFanout; ++c)
-                    if (sys.readWord32(
-                            proc_, a + (Layout::kFanout + c) * 4) !=
-                        std::uint32_t(layout_.childAddr(lvl, j, c)))
-                        return false;
+                    inner[base + Layout::kFanout + c] =
+                        std::uint32_t(layout_.childAddr(lvl, j, c));
             }
-        }
-        // Leaf contents against the sequential oracle, plus the
-        // derived occupancy counters and the leaf chain.
+        emit(Layout::kInnerBase, inner);
+
+        const unsigned stride = layout_.leafStrideWords();
+        const std::uint64_t V = params_.vwords;
+        std::vector<std::uint32_t> leaves(layout_.leaves() * stride, 0);
         for (std::uint64_t l = 0; l < layout_.leaves(); ++l) {
+            std::size_t base = std::size_t(l) * stride;
             std::uint32_t occ = 0;
             for (unsigned s = 0; s < Layout::kLeafKeys; ++s) {
                 std::uint64_t k = l * Layout::kLeafKeys + s;
-                std::uint32_t tag =
-                    sys.readWord32(proc_, layout_.slotAddr(k));
-                if (tag != want[k])
-                    return false;
-                if (tag == 0)
+                if (tags[k] == 0)
                     continue;
                 ++occ;
-                for (unsigned w = 1; w < params_.vwords; ++w)
-                    if (sys.readWord32(proc_,
-                                       layout_.slotAddr(k) + w * 4) !=
-                        kv::payloadWord(tag, w))
-                        return false;
+                leaves[base + 2 + s * V] = tags[k];
+                for (unsigned w = 1; w < V; ++w)
+                    leaves[base + 2 + s * V + w] =
+                        kv::payloadWord(tags[k], w);
             }
-            if (sys.readWord32(proc_, layout_.leafOccAddr(l)) != occ)
-                return false;
-            std::uint32_t next = std::uint32_t(
-                l + 1 < layout_.leaves() ? layout_.leafAddr(l + 1) : 0);
-            if (sys.readWord32(proc_, layout_.leafNextAddr(l)) != next)
-                return false;
+            leaves[base] = occ;
+            leaves[base + 1] = std::uint32_t(
+                l + 1 < layout_.leaves() ? layout_.leafAddr(l + 1)
+                                         : 0);
         }
-        return true;
+        emit(Layout::kLeafBase, leaves);
+    }
+
+    void
+    persistExpected(const std::vector<std::uint64_t> &counts,
+                    const std::function<void(Addr, std::uint32_t)>
+                        &emit) const override
+    {
+        kv::forEachWord(params_, kv::expectedAfterCommits(params_, counts),
+                        emit);
     }
 
   private:

@@ -30,6 +30,7 @@
 #define PTM_WORKLOADS_KV_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/types.hh"
@@ -137,6 +138,31 @@ std::uint32_t payloadWord(std::uint32_t tag, unsigned w);
  * because writes are key-partitioned per thread.
  */
 std::vector<std::uint32_t> expectedFinal(const Params &p);
+
+/**
+ * The store contents after each thread committed exactly its first
+ * counts[t] transactions (counts[t] * txOps ops, clamped to the
+ * program length) — the committed-prefix oracle durable recovery
+ * verifies against. Same shape as expectedFinal (index = key, value =
+ * tag, 0 = absent); counts entries missing for a thread mean zero
+ * commits. Valid for ANY per-thread prefix because writes are
+ * key-partitioned per thread.
+ */
+std::vector<std::uint32_t>
+expectedAfterCommits(const Params &p,
+                     const std::vector<std::uint64_t> &counts);
+
+/**
+ * Walk every defined word of the store image implied by @p tags
+ * (index = key, value = tag, 0 = absent): the meta page, every inner
+ * node, and per leaf the occupancy counter, next pointer, slot tags
+ * (including absent ones), and payload words of present records.
+ * verify() and crash recovery both compare through this one walker,
+ * so "bit-exact" means the same thing in both.
+ */
+void forEachWord(const Params &p,
+                 const std::vector<std::uint32_t> &tags,
+                 const std::function<void(Addr, std::uint32_t)> &emit);
 
 /**
  * Index (into thread 0's program) of the insert the drop-write hook

@@ -222,6 +222,43 @@ class Workload
     /** Compare the simulated result with the host reference. */
     virtual bool verify(System &sys) const = 0;
 
+    /** Sink for one contiguous checkpoint region (persistCheckpoint). */
+    using PersistSink =
+        std::function<void(Addr, const std::vector<std::uint32_t> &)>;
+
+    /**
+     * True if the workload can anchor the persistence domain: it can
+     * emit its pre-run baseline image (the checkpoint a recovery
+     * starts from) and its expected state is reconstructible from
+     * per-thread committed-transaction counts. Workloads returning
+     * false cannot produce `--durability wal` crash dumps.
+     */
+    virtual bool persistSupported() const { return false; }
+
+    /**
+     * Emit the pre-run baseline image as contiguous (vbase, words)
+     * regions. Only called when persistSupported().
+     */
+    virtual void persistCheckpoint(const PersistSink &emit) const
+    {
+        (void)emit;
+    }
+
+    /**
+     * Emit every (addr, expected word) of the store after each thread
+     * committed exactly its first counts[t] transactions in program
+     * order — the committed-prefix oracle recovery verifies a replayed
+     * image against. Only called when persistSupported().
+     */
+    virtual void
+    persistExpected(const std::vector<std::uint64_t> &counts,
+                    const std::function<void(Addr, std::uint32_t)> &emit)
+        const
+    {
+        (void)counts;
+        (void)emit;
+    }
+
     const WorkloadConfig &config() const { return cfg_; }
 
   protected:

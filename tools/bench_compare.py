@@ -39,6 +39,10 @@ THRESHOLDS = {
     # Serving-workload tail latency (bench_kv): p99 is sensitive to
     # abort-path changes, so give it a wider but still binding budget.
     "p99_commit_latency": 0.15,
+    # Durable-commit stall tail (bench_kv rows produced under
+    # --durability wal): only present when both baselines logged
+    # commits, so volatile baselines never trip it.
+    "p99_durable_commit_latency": 0.15,
 }
 
 # metric -> allowed relative *decrease* before it counts as a
@@ -247,7 +251,30 @@ def self_test():
     if any("sim_events_per_sec" in r for r in regs):
         failures.append("one-sided sim_events_per_sec compared")
 
-    # 9. A vanished row must be a regression.
+    # 9. A durable-commit latency blowup (bench_kv rows produced with
+    # --durability wal) must be detected beyond its 15% budget, and a
+    # pair where only the new row carries the field (volatile old
+    # baseline) must not be compared.
+    dur = copy.deepcopy(base)
+    dur["benches"]["bench_table1"][0]["p99_durable_commit_latency"] = \
+        600.0
+    dur_slow = copy.deepcopy(dur)
+    dur_slow["benches"]["bench_table1"][0][
+        "p99_durable_commit_latency"] = 750.0
+    regs, _ = compare(dur, dur_slow, 0.50)
+    if not any("p99_durable_commit_latency" in r for r in regs):
+        failures.append("+25% p99 durable commit latency not detected")
+    dur_near = copy.deepcopy(dur)
+    dur_near["benches"]["bench_table1"][0][
+        "p99_durable_commit_latency"] = 650.0
+    regs, _ = compare(dur, dur_near, 0.50)
+    if regs:
+        failures.append(f"+8% durable p99 inside budget flagged: {regs}")
+    regs, _ = compare(base, dur, 0.50)
+    if any("p99_durable_commit_latency" in r for r in regs):
+        failures.append("one-sided p99_durable_commit_latency compared")
+
+    # 10. A vanished row must be a regression.
     gone = copy.deepcopy(base)
     gone["benches"]["bench_table1"].pop(0)
     regs, _ = compare(base, gone, 0.10)

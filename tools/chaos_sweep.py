@@ -63,6 +63,10 @@ def run_one(args, chaos_seed, extra):
         "violations": violations,
         "repro": repro,
     }
+    if proc.returncode != 0 or not verified or violations:
+        # Keep the verifier's stderr tail on every failing record so
+        # the report is diagnosable without re-running the seed.
+        run["stderr"] = proc.stderr.strip().splitlines()[-10:]
     if proc.returncode != 0 and verified and not violations:
         # Crash or internal panic: keep the tail for the report.
         run["error"] = proc.stderr.strip().splitlines()[-5:]

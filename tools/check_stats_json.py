@@ -52,13 +52,13 @@ BASE_GROUPS = ["sys", "tx", "mem", "os", "core0", "events",
 PROF_BUCKETS = {
     "idle", "non_tx", "tx_useful", "tx_wasted", "stall_l1", "stall_l2",
     "stall_mem", "stall_xlat", "fault_swap", "tx_begin", "tx_commit",
-    "tx_abort", "ctx_switch", "barrier",
+    "tx_abort", "tx_persist", "ctx_switch", "barrier",
 }
 
 PROF_CHARGES = {
     "meta_lookup", "tav_lookup", "commit_cleanup", "abort_cleanup",
     "overflow_spill", "false_stall", "page_fault", "swap_io",
-    "committed_tx_ticks", "aborted_tx_ticks",
+    "committed_tx_ticks", "aborted_tx_ticks", "log_flush",
 }
 
 

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Crash-recovery sweep: cut durable runs at random ticks and verify
+that log-replay recovery rebuilds a correct image every time.
+
+For each seed K in [start, start+N) the sweep:
+
+ 1. runs ptm_sim once volatile to learn the run's cycle count;
+ 2. derives a deterministic crash tick in (0, cycles) from K, so the
+    sweep is reproducible without coordinating RNGs with the C++ side;
+ 3. re-runs with `--durability wal --wal-file DUMP --crash-at-tick T
+    --audit` — the run is cut mid-flight and dumps the persistent
+    image plus the durable prefix of the redo log;
+ 4. validates the dump's framing, record CRCs, and commit ordering
+    with check_wal.py;
+ 5. on a fraction of the seeds, forges a torn tail (rewrites the
+    durable byte count down into the last record and truncates the
+    file) to model a crash mid-drain even when the cut fell between
+    device flushes;
+ 6. runs `ptm_sim --recover DUMP` and requires "recover: verified
+    yes" and exit 0 — replay rebuilt an auditor-clean image that is
+    bit-exact against the workload's committed-prefix oracle.
+
+Writes a ptm-chaos-v1 JSON report (same record shape as
+chaos_sweep.py, with per-phase stderr tails on failures). Exits
+non-zero if any seed fails any phase.
+
+    crash_sweep.py PTM_SIM --seeds 30 --system sel-ptm
+    crash_sweep.py PTM_SIM --seeds 30 --system copy-ptm --out r.json
+
+Arguments after `--` are passed to every ptm_sim run verbatim.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_wal  # noqa: E402
+
+
+def lcg_below(seed, span):
+    """Deterministic tick draw: one splitmix64 step, reduced to span."""
+    x = (seed + 0x9E3779B97F4A7C15) & (1 << 64) - 1
+    x = ((x ^ x >> 30) * 0xBF58476D1CE4E5B9) & (1 << 64) - 1
+    x = ((x ^ x >> 27) * 0x94D049BB133111EB) & (1 << 64) - 1
+    return (x ^ x >> 31) % span
+
+
+def sim_cmd(args, seed, extra):
+    return [args.sim,
+            "--workload", args.workload,
+            "--system", args.system,
+            "--scale", str(args.scale),
+            "--threads", str(args.threads),
+            "--seed", str(seed)] + extra
+
+
+def run(cmd, timeout):
+    return subprocess.run(cmd, capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def fail(rec, phase, why, proc=None):
+    rec["error"] = f"{phase}: {why}"
+    tail = (proc.stderr.strip().splitlines()[-10:]) if proc else []
+    if tail:
+        rec["stderr"] = tail
+    return rec
+
+
+def run_one(args, seed, extra, wal_path):
+    rec = {"chaos_seed": seed, "exit": None, "verified": False,
+           "violations": [], "repro": None}
+
+    # Phase 1: learn the run length so the crash tick always lands
+    # inside the run.
+    try:
+        ref = run(sim_cmd(args, seed, extra), args.timeout)
+    except subprocess.TimeoutExpired:
+        return fail(rec, "reference", f"timeout after {args.timeout}s")
+    m = re.search(r"^cycles\s+(\d+)", ref.stdout, re.M)
+    if ref.returncode != 0 or not m:
+        return fail(rec, "reference",
+                    f"exit {ref.returncode}, no cycle count", ref)
+    cycles = int(m.group(1))
+    crash_tick = 1 + lcg_below(seed, max(cycles - 1, 1))
+    rec["crash_tick"] = crash_tick
+
+    # Phase 2: the durable run, cut mid-flight.
+    cmd = sim_cmd(args, seed, extra) + [
+        "--durability", "wal", "--wal-file", wal_path,
+        "--crash-at-tick", str(crash_tick), "--audit"]
+    rec["repro"] = " ".join(cmd[1:])
+    try:
+        prod = run(cmd, args.timeout)
+    except subprocess.TimeoutExpired:
+        return fail(rec, "producer", f"timeout after {args.timeout}s")
+    for line in prod.stderr.splitlines():
+        if line.startswith("audit-violation:"):
+            rec["violations"].append(
+                line[len("audit-violation:"):].strip())
+    if prod.returncode != 0 or rec["violations"]:
+        return fail(rec, "producer",
+                    f"exit {prod.returncode}, "
+                    f"{len(rec['violations'])} violation(s)", prod)
+    if not os.path.exists(wal_path):
+        return fail(rec, "producer", "no dump written", prod)
+
+    # Phase 3: independent schema validation of the dump.
+    problems = check_wal.check_dump(wal_path)
+    if problems:
+        return fail(rec, "check_wal", "; ".join(problems))
+
+    # Phase 4: forge a torn tail on every torn_every-th seed so the
+    # mid-record recovery path is exercised even when the crash tick
+    # fell between device flushes.
+    if args.torn_every and seed % args.torn_every == 0:
+        d = check_wal.parse_dump(wal_path)
+        durable = len(d["log"])
+        if durable > 8:
+            cut = 1 + lcg_below(seed + 1, min(durable - 1, 64))
+            check_wal.truncate_dump(wal_path, cut)
+            rec["torn_forged_bytes"] = cut
+
+    # Phase 5: recovery must replay the durable prefix into an
+    # auditor-clean, oracle-bit-exact image.
+    try:
+        rcv = run([args.sim, "--recover", wal_path], args.timeout)
+    except subprocess.TimeoutExpired:
+        return fail(rec, "recover", f"timeout after {args.timeout}s")
+    rec["exit"] = rcv.returncode
+    rec["verified"] = any(
+        line.strip() == "recover: verified yes"
+        for line in rcv.stdout.splitlines())
+    mt = re.search(r"^recover: torn tail: (\d+) bytes", rcv.stdout,
+                   re.M)
+    if mt:
+        rec["torn_bytes_discarded"] = int(mt.group(1))
+    mr = re.search(r"^recover: replayed (\d+) durable commits",
+                   rcv.stdout, re.M)
+    if mr:
+        rec["replayed_commits"] = int(mr.group(1))
+    if rcv.returncode != 0 or not rec["verified"]:
+        return fail(rec, "recover",
+                    f"exit {rcv.returncode}, verified "
+                    f"{rec['verified']}", rcv)
+    return rec
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("sim", help="path to the ptm_sim binary")
+    ap.add_argument("--seeds", type=int, default=30,
+                    help="number of seeds to sweep (default 30)")
+    ap.add_argument("--start", type=int, default=1,
+                    help="first seed (default 1)")
+    ap.add_argument("--workload", default="kv")
+    ap.add_argument("--system", default="sel-ptm")
+    ap.add_argument("--scale", type=int, default=0)
+    ap.add_argument("--threads", type=int, default=4)
+    ap.add_argument("--torn-every", type=int, default=3,
+                    help="forge a torn log tail on every Nth seed "
+                         "(0 = never; default 3)")
+    ap.add_argument("--timeout", type=int, default=120,
+                    help="per-run timeout in seconds (default 120)")
+    ap.add_argument("--out", default="",
+                    help="write the ptm-chaos-v1 JSON report to FILE")
+    args, extra = ap.parse_known_args()
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+
+    runs = []
+    bad = 0
+    torn = 0
+    with tempfile.TemporaryDirectory() as td:
+        for k in range(args.start, args.start + args.seeds):
+            wal = os.path.join(td, f"crash-{k}.wal")
+            rec = run_one(args, k, extra, wal)
+            runs.append(rec)
+            torn += "torn_bytes_discarded" in rec
+            ok = (rec["exit"] == 0 and rec["verified"]
+                  and not rec["violations"] and "error" not in rec)
+            if not ok:
+                bad += 1
+                why = ("; ".join(rec["violations"])
+                       or rec.get("error") or "recovery not verified")
+                print(f"seed {k:4d} FAIL  {why}", file=sys.stderr)
+                if rec["repro"]:
+                    print(f"          repro: {rec['repro']}",
+                          file=sys.stderr)
+            else:
+                note = (f"  torn {rec['torn_bytes_discarded']}B"
+                        if "torn_bytes_discarded" in rec else "")
+                print(f"seed {k:4d} ok  crash@{rec['crash_tick']} "
+                      f"replayed {rec.get('replayed_commits', 0)}"
+                      f"{note}")
+
+    report = {
+        "schema": "ptm-chaos-v1",
+        "workload": args.workload,
+        "system": args.system,
+        "scale": args.scale,
+        "threads": args.threads,
+        "plan": "crash",
+        "extra_args": extra,
+        "seeds": args.seeds,
+        "first_seed": args.start,
+        "failed_runs": bad,
+        "torn_tail_runs": torn,
+        "total_violations": sum(len(r["violations"]) for r in runs),
+        "runs": runs,
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+
+    print(f"{args.seeds} seeds, {bad} failing, {torn} torn-tail "
+          f"case(s), "
+          f"{report['total_violations']} violation(s)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@
 #include "harness/profile_io.hh"
 #include "harness/stats_io.hh"
 #include "harness/trace_io.hh"
+#include "persist/recover.hh"
 #include "sim/logging.hh"
 
 int
@@ -78,6 +79,17 @@ main(int argc, char **argv)
     opts.optionString("stats-json", "FILE",
                       "write ptm-stats-v1 JSON to FILE (- = stdout)",
                       json_path);
+    addPersistOptions(opts, prm.persist);
+    std::string recover_path;
+    opts.option("recover", "FILE",
+                "recover and verify the crash dump at FILE (written "
+                "by --wal-file), then exit",
+                [&](const std::string &v) {
+                    if (v.empty())
+                        return false;
+                    recover_path = v;
+                    return true;
+                });
     WorkloadOptList wl_opts;
     addWorkloadOptions(opts, wl_opts);
     addTraceOptions(opts, prm.trace);
@@ -108,6 +120,9 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!recover_path.empty())
+        return recoverRun(recover_path);
+
     robust.applyTo(prm);
     obs.applyTo(prm);
     machine.applyTo(prm);
@@ -123,30 +138,17 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Only one machine-readable stream can own stdout.
-    if (json_path == "-" && prm.trace.path == "-") {
-        std::fprintf(stderr, "ptm_sim: --stats-json - and --trace - "
-                             "cannot both write to stdout\n");
+    // At most one machine-readable stream may own stdout, and no two
+    // may share one file (they are written at different times, so the
+    // later open would silently clobber the earlier output).
+    if (!checkOutputSinks("ptm_sim",
+                          {{"--stats-json", json_path},
+                           {"--trace", prm.trace.path},
+                           {"--timeseries", prm.timeseries.path},
+                           {"--postmortem",
+                            prm.forensics.postmortemPath},
+                           {"--wal-file", prm.persist.walPath}}))
         return 2;
-    }
-
-    // Nor can two machine-readable streams share one file: the JSONL
-    // stream is written during the run, the stats document after it,
-    // so the later open would silently clobber the earlier output.
-    if (!json_path.empty() && json_path != "-") {
-        if (prm.timeseries.path == json_path) {
-            std::fprintf(stderr,
-                         "ptm_sim: --timeseries and --stats-json "
-                         "cannot write to the same file\n");
-            return 2;
-        }
-        if (prm.forensics.postmortemPath == json_path) {
-            std::fprintf(stderr,
-                         "ptm_sim: --postmortem and --stats-json "
-                         "cannot write to the same file\n");
-            return 2;
-        }
-    }
 
     // Keep stdout machine-readable when either output goes there.
     if (json_path == "-" || prm.trace.path == "-")
@@ -174,7 +176,26 @@ main(int argc, char **argv)
         std::printf("\n");
         std::printf("cycles            %llu\n",
                     (unsigned long long)r.cycles);
-        std::printf("verified          %s\n", r.verified ? "yes" : "NO");
+        if (r.crashed)
+            std::printf("crashed           at tick %llu (%llu durable "
+                        "log bytes%s)\n",
+                        (unsigned long long)r.crashTick,
+                        (unsigned long long)r.walDurableBytes,
+                        prm.persist.walPath.empty()
+                            ? ""
+                            : "; recover with --recover");
+        else
+            std::printf("verified          %s\n",
+                        r.verified ? "yes" : "NO");
+        if (prm.persist.enabled())
+            std::printf("durable commits   %llu (%llu log bytes, "
+                        "%llu stall ticks)\n",
+                        (unsigned long long)
+                            s.counter("persist.commits_persisted"),
+                        (unsigned long long)
+                            s.counter("persist.log_bytes"),
+                        (unsigned long long)
+                            s.counter("persist.flush_stall_ticks"));
         if (prm.audit.enabled)
             std::printf("audit             %llu passes, %zu violations\n",
                         (unsigned long long)r.auditChecks,
@@ -321,5 +342,7 @@ main(int argc, char **argv)
     }
     std::size_t violations =
         reportAuditViolations("ptm_sim", workload, prm, r);
-    return (r.verified && violations == 0) ? 0 : 1;
+    // A crash cut is an injected fault, not a failure: the run has no
+    // final state to verify in-process — recovery verifies the dump.
+    return ((r.verified || r.crashed) && violations == 0) ? 0 : 1;
 }
